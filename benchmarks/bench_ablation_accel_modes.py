@@ -1,0 +1,63 @@
+"""Ablation — Section 2.1 degenerate accelerator designs.
+
+"If an accelerator benefits more from simplicity than from being able to
+implement a full MESI protocol ... an accelerator cache can implement a
+VI design by sending only GetM requests. An MSI design is possible by
+treating DataE as DataM."
+
+This bench quantifies what those simplifications cost on the same
+workloads: the VI design writes back every block dirty and requests
+everything exclusively (read-sharing ping-pongs), MSI loses clean-
+replacement silence, MESI gets the full optimization surface.
+"""
+
+from repro.eval.overheads import _shared_read_builder
+from repro.eval.perf import run_one
+from repro.eval.report import format_table
+from repro.host.config import AccelOrg, HostProtocol, SystemConfig
+from repro.workloads.synthetic import PERF_WORKLOADS
+from repro.xg.interface import XGVariant
+
+
+def test_accel_mode_ablation(once):
+    def run():
+        results = {}
+        workloads = dict(PERF_WORKLOADS(scale=1))
+        workloads["shared_read"] = _shared_read_builder(1)
+        for workload_name in ("shared_read", "shared_pingpong", "blocked_decode"):
+            rows = []
+            for mode in ("mesi", "msi", "vi"):
+                config = SystemConfig(
+                    host=HostProtocol.MESI, org=AccelOrg.XG,
+                    xg_variant=XGVariant.FULL_STATE, accel_mode=mode,
+                    n_cpus=2, n_accel_cores=2, seed=7,
+                )
+                row, system = run_one(config, workloads[workload_name])
+                row["mode"] = mode
+                row["xg_msgs"] = system.xg.stats.get("xg_to_host_msgs")
+                rows.append(row)
+            results[workload_name] = rows
+        return results
+
+    results = once(run)
+    print()
+    for workload, rows in results.items():
+        base = rows[0]["ticks"]
+        print(
+            format_table(
+                ["accel mode", "ticks", "vs MESI", "XG->host msgs"],
+                [
+                    (r["mode"], r["ticks"], f"{r['ticks'] / base:.2f}x", r["xg_msgs"])
+                    for r in rows
+                ],
+                title=f"accelerator protocol mode: {workload}",
+            )
+        )
+        print()
+    for workload, rows in results.items():
+        assert all(r.get("xg_errors", 0) == 0 for r in rows)
+    # GetM-only VI must pay for CPU/accelerator READ sharing: every
+    # accelerator read steals exclusivity and bounces the CPUs' copies.
+    shared = {r["mode"]: r for r in results["shared_read"]}
+    assert shared["vi"]["ticks"] > shared["mesi"]["ticks"]
+    assert shared["vi"]["xg_msgs"] > shared["mesi"]["xg_msgs"]

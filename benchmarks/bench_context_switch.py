@@ -1,0 +1,51 @@
+"""Ablation — Section 2.3.2's time-sharing remark, quantified.
+
+"[Transactional Crossing Guard] may also ease time-sharing of the
+Crossing Guard hardware between accelerators, because storage will not
+need to be sized for a specific accelerator." Measured as the flush work
+a context switch requires after a working-set-building workload.
+"""
+
+from repro.eval.perf import run_one
+from repro.eval.report import format_table
+from repro.host.config import AccelOrg, HostProtocol, SystemConfig
+from repro.workloads.synthetic import PERF_WORKLOADS
+from repro.xg.interface import XGVariant
+
+
+def test_context_switch_cost(once):
+    def run():
+        rows = []
+        builder = PERF_WORKLOADS(scale=1)["blocked_decode"]
+        for variant in (XGVariant.FULL_STATE, XGVariant.TRANSACTIONAL):
+            config = SystemConfig(
+                host=HostProtocol.MESI, org=AccelOrg.XG, xg_variant=variant,
+                n_cpus=2, n_accel_cores=2, seed=11,
+            )
+            _row, system = run_one(config, builder)
+            cost = system.xg.context_switch_cost()
+            rows.append(cost)
+        return rows
+
+    rows = once(run)
+    print()
+    print(
+        format_table(
+            ["variant", "open txns", "blocks to invalidate", "owned to write back", "total flush ops"],
+            [
+                (
+                    r["variant"],
+                    r["open_transactions_to_drain"],
+                    r["blocks_to_invalidate"],
+                    r["owned_blocks_to_write_back"],
+                    r["total_flush_operations"],
+                )
+                for r in rows
+            ],
+            title="context-switch (time-sharing) cost after blocked_decode",
+        )
+    )
+    full, txn = rows
+    assert txn["blocks_to_invalidate"] == 0
+    assert txn["total_flush_operations"] <= full["total_flush_operations"]
+    assert full["blocks_to_invalidate"] > 10, "a real working set was resident"

@@ -1,0 +1,71 @@
+"""Ablation — where the organization crossover falls.
+
+The host-side cache (Figure 2b) wins only when the accelerator's pattern
+defeats caching; the crossing latency decides how much each organization
+pays. This bench sweeps the crossing latency for a cache-averse workload
+(streaming) and a cache-friendly one (blocked_decode) and reports the
+XG-vs-host-side ratio — locating the crossover the organizations trade
+around.
+"""
+
+from repro.eval.perf import run_one
+from repro.eval.report import format_table
+from repro.host.config import AccelOrg, HostProtocol, SystemConfig
+from repro.workloads.synthetic import PERF_WORKLOADS
+from repro.xg.interface import XGVariant
+
+
+def _ticks(org, workload_builder, crossing, **kw):
+    config = SystemConfig(
+        host=HostProtocol.MESI, org=org, crossing_latency=crossing,
+        n_cpus=2, n_accel_cores=2, seed=7, **kw,
+    )
+    row, _system = run_one(config, workload_builder)
+    return row["ticks"]
+
+
+def test_crossing_latency_crossover(once):
+    def run():
+        workloads = PERF_WORKLOADS(scale=1)
+        out = {}
+        for name in ("streaming", "blocked_decode"):
+            rows = []
+            for crossing in (10, 40, 120):
+                xg = _ticks(
+                    AccelOrg.XG, workloads[name], crossing,
+                    xg_variant=XGVariant.FULL_STATE,
+                )
+                hostside = _ticks(AccelOrg.HOST_SIDE, workloads[name], crossing)
+                rows.append(
+                    {
+                        "crossing": crossing,
+                        "xg": xg,
+                        "hostside": hostside,
+                        "ratio": hostside / xg,
+                    }
+                )
+            out[name] = rows
+        return out
+
+    results = once(run)
+    print()
+    for workload, rows in results.items():
+        print(
+            format_table(
+                ["crossing latency", "XG ticks", "host-side ticks", "host-side/XG"],
+                [
+                    (r["crossing"], r["xg"], r["hostside"], f"{r['ratio']:.2f}x")
+                    for r in rows
+                ],
+                title=f"crossover sweep: {workload}",
+            )
+        )
+        print()
+    # Cache-friendly: XG's advantage must GROW with the crossing latency
+    # (host-side pays it per access, XG per miss).
+    friendly = [r["ratio"] for r in results["blocked_decode"]]
+    assert friendly == sorted(friendly)
+    assert friendly[-1] > 1.5
+    # Cache-averse streaming: host-side stays competitive (<= XG ~everywhere).
+    averse = [r["ratio"] for r in results["streaming"]]
+    assert min(averse) < 1.05

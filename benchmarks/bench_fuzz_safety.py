@@ -1,0 +1,38 @@
+"""E4 — Section 4 safety: fuzzing Crossing Guard with byzantine accelerators.
+
+The paper: "we bombard the Crossing Guard with a stream of random
+coherence messages ... this fuzz testing never leads to a crash or
+deadlock." Every campaign row must be host-safe, and campaigns that
+inject violations must show them reported to the OS.
+"""
+
+from repro.eval.experiments import run_fuzz_matrix
+from repro.eval.report import format_table
+
+
+def test_fuzz_safety_matrix(once):
+    rows = once(run_fuzz_matrix, seeds=range(2), duration=40_000, cpu_ops=800)
+    print()
+    print(
+        format_table(
+            ["host", "variant", "adversary", "seed", "safe", "adv msgs", "violations", "cpu loads ok"],
+            [
+                (
+                    r["host"],
+                    r["variant"],
+                    r["adversary"],
+                    r["seed"],
+                    r["host_safe"],
+                    r["adversary_messages"],
+                    r["violations_total"],
+                    r["cpu_loads_checked"],
+                )
+                for r in rows
+            ],
+            title="Fuzz safety matrix (paper: no crash or deadlock, ever)",
+        )
+    )
+    assert all(r["host_safe"] for r in rows)
+    fuzz_rows = [r for r in rows if r["adversary"] == "fuzz"]
+    assert all(r["violations_total"] > 0 for r in fuzz_rows), "violations must be reported"
+    assert all(r["cpu_loads_checked"] > 0 for r in rows), "CPUs must keep making progress"

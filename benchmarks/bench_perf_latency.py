@@ -1,0 +1,40 @@
+"""E6 — Performance figure: accelerator-side op latency per organization."""
+
+from repro.eval.perf import run_perf_sweep
+from repro.eval.report import format_table
+from repro.host.config import HostProtocol
+
+
+def test_perf_latency(once):
+    results = once(
+        run_perf_sweep,
+        workloads=("blocked_decode", "shared_pingpong"),
+        hosts=(HostProtocol.MESI, HostProtocol.HAMMER),
+        scale=1,
+    )
+    print()
+    for workload, rows in results.items():
+        print(
+            format_table(
+                ["config", "accel mean latency", "cpu mean latency"],
+                [
+                    (
+                        r["config"],
+                        f"{r['accel_mean_latency']:.1f}",
+                        f"{r['cpu_mean_latency']:.1f}",
+                    )
+                    for r in rows
+                ],
+                title=f"latency: {workload}",
+            )
+        )
+        print()
+    # Host-side pays the crossing on every access, so its accelerator
+    # latency must dominate the cached organizations on a reuse-heavy
+    # workload.
+    for rows in results.values():
+        by_config = {r["config"]: r for r in rows}
+        for host in ("mesi", "hammer"):
+            hostside = by_config[f"{host}/host-side"]["accel_mean_latency"]
+            xg = by_config[f"{host}/xg-full-L1"]["accel_mean_latency"]
+            assert hostside > xg

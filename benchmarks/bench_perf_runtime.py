@@ -1,0 +1,46 @@
+"""E5 — Performance figure: runtime of the 12 cache organizations.
+
+Paper claim: "Crossing Guard performs similarly to the unsafe,
+hard-to-design accelerator-side cache and better than a safe but
+high-latency host-side cache."
+"""
+
+from repro.eval.perf import run_perf_sweep
+from repro.eval.report import format_table
+
+
+def test_perf_runtime(once):
+    from repro.host.config import HostProtocol
+
+    results = once(
+        run_perf_sweep,
+        scale=1,
+        hosts=(HostProtocol.MESI, HostProtocol.HAMMER, HostProtocol.MESIF),
+    )
+    print()
+    for workload, rows in results.items():
+        print(
+            format_table(
+                ["config", "ticks", "normalized", "host msgs"],
+                [
+                    (r["config"], r["ticks"], f"{r['ticks_norm']:.2f}x", r["host_net_messages"])
+                    for r in rows
+                ],
+                title=f"runtime: {workload}",
+            )
+        )
+        print()
+    # Shape assertions on the cache-friendly workloads: XG close to the
+    # unsafe baseline, host-side clearly worse.
+    for workload in ("blocked_decode", "graph_walk", "write_coalesce"):
+        rows = results[workload]
+        for host_prefix in ("mesi/", "hammer/", "mesif/"):
+            host_rows = [r for r in rows if r["config"].startswith(host_prefix)]
+            host_rows = [r for r in host_rows if r["config"].split("/")[0] + "/" == host_prefix]
+            by_org = {r["config"].split("/")[1]: r for r in host_rows}
+            assert by_org["host-side"]["ticks_norm"] > 1.2, (workload, host_prefix)
+            assert by_org["xg-full-L1"]["ticks_norm"] < 1.15, (workload, host_prefix)
+            assert by_org["xg-txn-L1"]["ticks_norm"] < 1.15, (workload, host_prefix)
+    # No spurious guarantee violations anywhere.
+    for rows in results.values():
+        assert all(r.get("xg_errors", 0) == 0 for r in rows)

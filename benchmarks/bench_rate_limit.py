@@ -1,0 +1,31 @@
+"""E9 — Section 2.5: rate limiting a flooding (DoS) accelerator."""
+
+from repro.eval.overheads import run_rate_limit_sweep
+from repro.eval.report import format_table
+
+
+def test_rate_limit_sweep(once):
+    rows = once(run_rate_limit_sweep, rates=(None, 64, 16, 4))
+    print()
+    print(
+        format_table(
+            ["rate limit", "cpu ops", "cpu mean latency", "adv admitted", "adv throttled"],
+            [
+                (
+                    r["rate_limit"],
+                    r["cpu_ops_completed"],
+                    f"{r['cpu_mean_latency']:.1f}",
+                    r["adversary_requests_admitted"],
+                    r["adversary_requests_throttled"],
+                )
+                for r in rows
+            ],
+            title="flooding accelerator vs OS rate limit (shared-fabric host)",
+        )
+    )
+    assert all(r["host_safe"] for r in rows)
+    unlimited = rows[0]
+    tightest = rows[-1]
+    # Throttling must kick in and restore CPU latency.
+    assert tightest["adversary_requests_throttled"] > 0
+    assert tightest["cpu_mean_latency"] < unlimited["cpu_mean_latency"]

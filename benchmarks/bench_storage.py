@@ -1,0 +1,54 @@
+"""E7 — Section 2.3: Crossing Guard storage, Full State vs Transactional.
+
+Paper data point: for a 256kB accelerator cache with 64B blocks, Full
+State XG needs ~16kB of tag storage; Transactional XG only tracks open
+transactions.
+"""
+
+from repro.eval.overheads import run_storage_comparison
+from repro.eval.report import format_table
+
+
+def test_storage_comparison(once):
+    result = once(run_storage_comparison)
+    print()
+    print(
+        format_table(
+            ["accel cache (KiB)", "full-state (KiB)", "transactional (KiB)"],
+            [
+                (
+                    r["accel_cache_kib"],
+                    f"{r['full_state_kib']:.1f}",
+                    f"{r['transactional_kib']:.2f}",
+                )
+                for r in result["analytic"]
+            ],
+            title="analytic XG storage vs accelerator cache size",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["config", "mirror entries", "mirror bits", "TBE high-water", "total bits"],
+            [
+                (
+                    r["config"],
+                    r["mirror_entries_high_water"],
+                    r["mirror_bits"],
+                    r["tbe_high_water"],
+                    r["total_bits"],
+                )
+                for r in result["measured"]
+            ],
+            title="measured high-water storage (blocked_decode workload)",
+        )
+    )
+    # Paper's 256kB example: ~16kB of tags.
+    row_256 = next(r for r in result["analytic"] if r["accel_cache_kib"] == 256)
+    assert 12 <= row_256["full_state_kib"] <= 20
+    # Transactional storage must not scale with cache size.
+    sizes = [r["transactional_kib"] for r in result["analytic"]]
+    assert len(set(sizes)) == 1
+    # Measured: Transactional strictly smaller than Full State.
+    full, txn = result["measured"]
+    assert txn["total_bits"] < full["total_bits"]

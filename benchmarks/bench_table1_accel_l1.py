@@ -1,0 +1,21 @@
+"""E1 — Paper Table 1: the accelerator L1 transition matrix."""
+
+from repro.eval.experiments import run_table1_accel_l1
+from repro.eval.report import format_table
+
+
+def test_table1_accel_l1(once):
+    result = once(run_table1_accel_l1)
+    rows = [
+        (r["state"], r["event"], r["paper"], r["implemented"]) for r in result["rows"]
+    ]
+    print()
+    print(
+        format_table(
+            ["state", "event", "paper cell", "implemented"],
+            rows,
+            title="Table 1: accelerator L1 (XG interface)",
+        )
+    )
+    assert all(r["implemented"] != "MISSING" for r in result["rows"])
+    assert all(r["implemented"] != "UNEXPECTED" for r in result["rows"])

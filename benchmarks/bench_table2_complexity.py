@@ -1,0 +1,33 @@
+"""E2 — Section 2.1/2.4: protocol complexity comparison."""
+
+from repro.eval.experiments import run_complexity_comparison
+from repro.eval.report import format_table
+
+
+def test_complexity_comparison(once):
+    rows = once(run_complexity_comparison)
+    printable = [
+        (
+            r["controller"],
+            r["stable_states"],
+            r["transient_states"],
+            r["transitions"],
+            r["incoming_requests"],
+            r["incoming_responses"],
+        )
+        for r in rows
+    ]
+    print()
+    print(
+        format_table(
+            ["controller", "stable", "transient", "transitions", "reqs in", "resps in"],
+            printable,
+            title="Protocol complexity: accelerator interface vs host protocols",
+        )
+    )
+    accel = rows[0]
+    mesi = rows[1]
+    # The paper's headline: 4 stable + 1 transient for the accel cache vs
+    # six+ transients at the host MESI L1.
+    assert accel["stable_states"] == 4 and accel["transient_states"] == 1
+    assert mesi["transient_states"] >= 6

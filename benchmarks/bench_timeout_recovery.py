@@ -1,0 +1,32 @@
+"""E11 — Guarantee 2c: surrogate responses when the accelerator goes deaf."""
+
+from repro.eval.overheads import run_timeout_recovery
+from repro.eval.report import format_table
+
+
+def test_timeout_recovery(once):
+    rows = once(run_timeout_recovery, timeouts=(1000, 4000, 16000))
+    print()
+    print(
+        format_table(
+            ["timeout", "safe", "G2c errors", "cpu ops", "cpu mean lat", "cpu max lat"],
+            [
+                (
+                    r["timeout"],
+                    r["host_safe"],
+                    r["g2c_errors"],
+                    r["cpu_ops_completed"],
+                    f"{r['cpu_mean_latency']:.0f}",
+                    r["cpu_max_latency"],
+                )
+                for r in rows
+            ],
+            title="deaf accelerator: host progress rides on the XG timeout",
+        )
+    )
+    assert all(r["host_safe"] for r in rows)
+    assert all(r["g2c_errors"] > 0 for r in rows)
+    # CPU worst-case latency tracks the timeout setting.
+    latencies = [r["cpu_max_latency"] for r in rows]
+    assert latencies == sorted(latencies)
+    assert rows[0]["cpu_max_latency"] < rows[-1]["timeout"]

@@ -1,0 +1,20 @@
+"""Benchmark harness conventions.
+
+Every file regenerates one paper artifact (table or figure — see the
+experiment index in DESIGN.md) and prints the rows/series the paper
+reports. Runs are heavyweight simulations, so each uses
+``benchmark.pedantic(rounds=1)`` — the interesting output is the table,
+not the wall-clock of the harness itself.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the experiment exactly once under the benchmark timer."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Safety demo: a byzantine accelerator cannot harm the host.
+
+Replaces the accelerator with the fuzzing adversary from the paper's
+safety evaluation: it sprays random coherence messages (wrong types,
+wrong channels, missing payloads, responses with no request) at Crossing
+Guard while CPUs run checked traffic next to it. The host must neither
+crash nor deadlock, CPU data on protected pages must stay intact, and
+every violation must be reported to the OS.
+"""
+
+from repro import HostProtocol, XGVariant, run_fuzz_campaign
+
+
+def main():
+    for variant in (XGVariant.FULL_STATE, XGVariant.TRANSACTIONAL):
+        print(f"=== {variant.name} Crossing Guard, MESI host ===")
+        result, system = run_fuzz_campaign(
+            HostProtocol.MESI,
+            variant,
+            adversary="fuzz",
+            seed=42,
+            duration=50_000,
+            cpu_ops=1200,
+        )
+        report = result.as_dict()
+        print(f"  host safe           : {report['host_safe']}")
+        print(f"  adversary messages  : {report['adversary_messages']}")
+        print(f"  CPU loads checked   : {report['cpu_loads_checked']} (all data correct)")
+        print(f"  violations reported : {report['violations_total']}")
+        for guarantee, count in sorted(report["violations"].items()):
+            print(f"      {guarantee:24s} {count}")
+        assert report["host_safe"], "the host must survive anything"
+        print()
+    print("Both variants kept the host alive under fuzzing — the paper's")
+    print("safety result: 'this fuzz testing never leads to a crash or deadlock'.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Build a CUSTOM accelerator cache on the standard interface.
+
+This is the paper's pitch to accelerator designers: the Crossing Guard
+interface is simple enough to get right, yet expressive enough to build
+*optimized* caches on — here a streaming cache that prefetches ahead,
+with zero changes to the host or to Crossing Guard. The host cannot even
+tell: prefetches are ordinary GetS requests.
+"""
+
+from repro import AccelOrg, HostProtocol, SystemConfig, build_system
+from repro.workloads.synthetic import WorkloadDriver, run_drivers, streaming
+
+FRAME = 0x40000
+BLOCKS = 160
+
+
+def run(depth):
+    config = SystemConfig(
+        host=HostProtocol.MESI,
+        org=AccelOrg.XG,
+        n_cpus=1,
+        n_accel_cores=1,
+        accel_prefetch_depth=depth,
+        seed=3,
+    )
+    system = build_system(config)
+    driver = WorkloadDriver(
+        system.sim,
+        system.accel_seqs[0],
+        streaming(FRAME, BLOCKS, write_fraction=0.0, seed=3),
+        max_outstanding=2,
+    )
+    ticks = run_drivers(system.sim, [driver])
+    l1 = system.accel_caches[0]
+    return ticks, l1, system
+
+
+def main():
+    baseline_ticks, _l1, _sys = run(depth=0)
+    print(f"plain Table 1 cache     : {baseline_ticks:6d} ticks  (baseline)")
+    for depth in (1, 2, 4):
+        ticks, l1, system = run(depth)
+        speedup = baseline_ticks / ticks
+        print(
+            f"prefetch depth {depth}        : {ticks:6d} ticks  "
+            f"({speedup:.2f}x; {l1.stats.get('prefetches_issued')} prefetches, "
+            f"{l1.stats.get('prefetch_hits')} hits, "
+            f"{len(system.error_log)} guarantee violations)"
+        )
+    print("\nSame host, same Crossing Guard, same guarantees — the speedup")
+    print("comes entirely from the accelerator designer's own cache policy.")
+
+
+if __name__ == "__main__":
+    main()

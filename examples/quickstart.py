@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: a CPU and an accelerator sharing memory through Crossing Guard.
+
+Builds the paper's Figure 2c organization — MESI host, Full State
+Crossing Guard, single-level accelerator cache — and runs a tiny
+producer/consumer exchange: the CPU writes values, the accelerator reads
+and doubles them, the CPU reads the results back. Full hardware coherence
+means nobody flushes anything explicitly.
+"""
+
+from repro import AccelOrg, HostProtocol, SystemConfig, XGVariant, build_system
+
+DATA_BASE = 0x10000
+NUM_ITEMS = 8
+
+
+def main():
+    config = SystemConfig(
+        host=HostProtocol.MESI,
+        org=AccelOrg.XG,
+        xg_variant=XGVariant.FULL_STATE,
+        n_cpus=1,
+        n_accel_cores=1,
+    )
+    system = build_system(config)
+    sim = system.sim
+    cpu = system.cpu_seqs[0]
+    accel = system.accel_seqs[0]
+
+    # Phase 1: the CPU produces NUM_ITEMS values, one per cache block.
+    produced = []
+
+    def produce(index):
+        if index == NUM_ITEMS:
+            consume(0)
+            return
+        value = 10 + index
+        produced.append(value)
+        cpu.store(DATA_BASE + 64 * index, value, lambda m, d: produce(index + 1))
+
+    # Phase 2: the accelerator loads each value and writes back 2x.
+    def consume(index):
+        if index == NUM_ITEMS:
+            check(0)
+            return
+        addr = DATA_BASE + 64 * index
+
+        def on_load(msg, data):
+            doubled = (data.read_byte(0) * 2) % 256
+            accel.store(addr, doubled, lambda m, d: consume(index + 1))
+
+        accel.load(addr, on_load)
+
+    # Phase 3: the CPU verifies the accelerator's results.
+    results = []
+
+    def check(index):
+        if index == NUM_ITEMS:
+            return
+        cpu.load(
+            DATA_BASE + 64 * index,
+            lambda m, d, i=index: (results.append(d.read_byte(0)), check(i + 1)),
+        )
+
+    produce(0)
+    sim.run()
+
+    expected = [(v * 2) % 256 for v in produced]
+    print(f"produced by CPU     : {produced}")
+    print(f"read back after accel: {results}")
+    assert results == expected, "coherence failed?!"
+    print(f"\ncoherent in {sim.tick} ticks; "
+          f"XG forwarded {system.xg.stats.get('xg_to_host_msgs')} host messages, "
+          f"{len(system.error_log)} guarantee violations (expect 0)")
+    print("accelerator miss latency:",
+          sim.stats_for("latency").histogram("accel_miss_latency").as_dict())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Crossing Guard: Mediating Host-Accelerator Coherence Interactions.
+
+A full-system reproduction of Olson, Hill & Wood (ASPLOS 2017): a
+discrete-event coherence simulator with two host protocols (Hammer-like
+exclusive MOESI and inclusive MESI two-level), the standardized Crossing
+Guard accelerator coherence interface, both Crossing Guard variants
+(Full State and Transactional), single- and two-level accelerator cache
+hierarchies, byzantine accelerator models, and the random-stress / fuzz /
+performance evaluation harnesses.
+
+Quick start::
+
+    from repro import SystemConfig, HostProtocol, AccelOrg, build_system
+
+    config = SystemConfig(host=HostProtocol.MESI, org=AccelOrg.XG)
+    system = build_system(config)
+    system.accel_seqs[0].load(0x1000, callback=lambda msg, data: ...)
+    system.sim.run()
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+reproduced tables and figures.
+"""
+
+from repro.host.config import AccelOrg, HostProtocol, SystemConfig, all_evaluated_configs
+from repro.host.system import System, build_system
+from repro.sim.simulator import DeadlockError, Simulator
+from repro.testing.fuzzer import run_fuzz_campaign
+from repro.testing.random_tester import DataCheckError, RandomTester
+from repro.xg.errors import Guarantee, XGError, XGErrorLog
+from repro.xg.interface import AccelMsg, XGVariant
+from repro.xg.permissions import PagePermission, PermissionTable
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccelMsg",
+    "AccelOrg",
+    "DataCheckError",
+    "DeadlockError",
+    "Guarantee",
+    "HostProtocol",
+    "PagePermission",
+    "PermissionTable",
+    "RandomTester",
+    "Simulator",
+    "System",
+    "SystemConfig",
+    "XGError",
+    "XGErrorLog",
+    "XGVariant",
+    "all_evaluated_configs",
+    "build_system",
+    "run_fuzz_campaign",
+    "__version__",
+]

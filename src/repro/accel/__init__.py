@@ -1,0 +1,33 @@
+"""Accelerator-side cache hierarchies speaking the Crossing Guard interface.
+
+* :mod:`repro.accel.l1_single` — the paper's Table 1 cache: MESI stable
+  states plus a single transient state B, with degenerate VI and MSI
+  modes (Section 2.1);
+* :mod:`repro.accel.two_level` — the hierarchical design: private per-core
+  L1s behind a shared inclusive accelerator L2 that speaks the XG
+  interface upward;
+* :mod:`repro.accel.buggy` — pathological/byzantine accelerator models
+  for the safety evaluation (Section 4).
+"""
+
+from repro.accel.l1_single import AccelL1, AccelL1Mode, AL1Event, AL1State
+from repro.accel.two_level import AccelL1Two, AccelL2Shared
+from repro.accel.buggy import (
+    DeafAccel,
+    FloodingAccel,
+    FuzzingAccel,
+    WrongResponderAccel,
+)
+
+__all__ = [
+    "AL1Event",
+    "AL1State",
+    "AccelL1",
+    "AccelL1Mode",
+    "AccelL1Two",
+    "AccelL2Shared",
+    "DeafAccel",
+    "FloodingAccel",
+    "FuzzingAccel",
+    "WrongResponderAccel",
+]

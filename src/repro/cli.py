@@ -1,0 +1,290 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``        — tiny coherent CPU/accelerator exchange through XG;
+* ``stress``      — Section 4.1 random stress over the 12 configurations;
+* ``fuzz``        — byzantine-accelerator safety campaign;
+* ``verify``      — exhaustive single-address interface verification;
+* ``perf``        — runtime comparison of the cache organizations;
+* ``experiment``  — run one of the table/figure experiments (e1..e12).
+"""
+
+import argparse
+import sys
+
+from repro.eval.report import format_table
+
+
+def _cmd_demo(args):
+    from repro.host.config import AccelOrg, HostProtocol, SystemConfig
+    from repro.host.system import build_system
+    from repro.xg.interface import XGVariant
+
+    config = SystemConfig(
+        host=HostProtocol[args.host.upper()],
+        org=AccelOrg.XG,
+        xg_variant=XGVariant[args.variant.upper()],
+    )
+    system = build_system(config)
+    results = []
+    system.cpu_seqs[0].store(0x1000, 21)
+    system.sim.run()
+    system.accel_seqs[0].load(
+        0x1000, lambda m, d: results.append(("accel read", d.read_byte(0)))
+    )
+    system.sim.run()
+    system.accel_seqs[0].store(0x1000, 42)
+    system.sim.run()
+    system.cpu_seqs[0].load(
+        0x1000, lambda m, d: results.append(("cpu read", d.read_byte(0)))
+    )
+    system.sim.run()
+    for label, value in results:
+        print(f"{label}: {value}")
+    print(f"config: {config.label}; ticks: {system.sim.tick}; "
+          f"guarantee violations: {len(system.error_log)}")
+    return 0
+
+
+def _cmd_stress(args):
+    from repro.eval.experiments import run_stress_coverage
+
+    result = run_stress_coverage(seeds=range(args.seeds), ops_per_run=args.ops)
+    failures = [r for r in result["runs"] if not r["passed"]]
+    print(
+        format_table(
+            ["controller", "visited", "possible", "coverage"],
+            [
+                (c["controller"], c["visited"], c["possible"], f"{c['fraction']:.1%}")
+                for c in result["coverage"]
+            ],
+            title=f"{len(result['runs'])} stress runs, {len(failures)} failures",
+        )
+    )
+    for failure in failures:
+        print("FAIL:", failure["config"], "seed", failure["seed"], failure["detail"])
+    return 1 if failures else 0
+
+
+def _cmd_fuzz(args):
+    from repro.host.config import HostProtocol
+    from repro.testing.fuzzer import run_fuzz_campaign
+    from repro.xg.interface import XGVariant
+
+    result, _system = run_fuzz_campaign(
+        HostProtocol[args.host.upper()],
+        XGVariant[args.variant.upper()],
+        adversary=args.adversary,
+        seed=args.seed,
+        duration=args.duration,
+        cpu_ops=args.cpu_ops,
+    )
+    report = result.as_dict()
+    for key in (
+        "host_safe", "adversary_messages", "violations_total",
+        "cpu_loads_checked", "final_tick",
+    ):
+        print(f"{key}: {report[key]}")
+    for guarantee, count in sorted(report["violations"].items()):
+        print(f"  {guarantee}: {count}")
+    return 0 if report["host_safe"] else 1
+
+
+def _cmd_verify(args):
+    from repro.verify import explore
+
+    for name, allow in (("transactional-style", True), ("full-state-style", False)):
+        stats = explore(allow_probe_when_absent=allow)
+        print(f"{name}: {stats['states']} states, {stats['transitions']} transitions — OK")
+    return 0
+
+
+def _cmd_perf(args):
+    from repro.eval.perf import run_perf_sweep
+
+    results = run_perf_sweep(
+        workloads=args.workloads or None, scale=args.scale, seed=args.seed
+    )
+    for workload, rows in results.items():
+        print(
+            format_table(
+                ["config", "ticks", "normalized"],
+                [(r["config"], r["ticks"], f"{r['ticks_norm']:.2f}x") for r in rows],
+                title=f"runtime: {workload}",
+            )
+        )
+        print()
+    return 0
+
+
+_EXPERIMENTS = {}
+
+
+def _experiment(name):
+    def register(fn):
+        _EXPERIMENTS[name] = fn
+        return fn
+
+    return register
+
+
+@_experiment("e1")
+def _e1():
+    from repro.eval.experiments import run_table1_accel_l1
+
+    result = run_table1_accel_l1()
+    return format_table(
+        ["state", "event", "paper", "implemented"],
+        [(r["state"], r["event"], r["paper"], r["implemented"]) for r in result["rows"]],
+        title="Table 1",
+    )
+
+
+@_experiment("e2")
+def _e2():
+    from repro.eval.experiments import run_complexity_comparison
+
+    rows = run_complexity_comparison()
+    return format_table(
+        ["controller", "stable", "transient", "transitions"],
+        [
+            (r["controller"], r["stable_states"], r["transient_states"], r["transitions"])
+            for r in rows
+        ],
+        title="protocol complexity",
+    )
+
+
+@_experiment("e7")
+def _e7():
+    from repro.eval.overheads import run_storage_comparison
+
+    result = run_storage_comparison()
+    return format_table(
+        ["accel KiB", "full-state KiB", "transactional KiB"],
+        [
+            (r["accel_cache_kib"], f"{r['full_state_kib']:.1f}", f"{r['transactional_kib']:.2f}")
+            for r in result["analytic"]
+        ],
+        title="XG storage",
+    )
+
+
+@_experiment("e8")
+def _e8():
+    from repro.eval.overheads import run_puts_overhead
+
+    rows = run_puts_overhead()
+    return format_table(
+        ["workload", "suppress", "PutS %"],
+        [
+            (r["workload"], r["suppress_puts"], f"{100 * r['puts_fraction']:.1f}%")
+            for r in rows
+        ],
+        title="PutS overhead (Hammer host)",
+    )
+
+
+@_experiment("e9")
+def _e9():
+    from repro.eval.overheads import run_rate_limit_sweep
+
+    rows = run_rate_limit_sweep()
+    return format_table(
+        ["limit", "cpu latency", "throttled"],
+        [
+            (r["rate_limit"], f"{r['cpu_mean_latency']:.1f}", r["adversary_requests_throttled"])
+            for r in rows
+        ],
+        title="rate limiting",
+    )
+
+
+@_experiment("e10")
+def _e10():
+    from repro.eval.overheads import run_block_translation
+
+    rows = run_block_translation()
+    return format_table(
+        ["accel block", "loads checked", "XG->host msgs"],
+        [(r["accel_block"], r["loads_checked"], r["xg_to_host_msgs"]) for r in rows],
+        title="block translation",
+    )
+
+
+@_experiment("e11")
+def _e11():
+    from repro.eval.overheads import run_timeout_recovery
+
+    rows = run_timeout_recovery()
+    return format_table(
+        ["timeout", "G2c errors", "cpu max latency"],
+        [(r["timeout"], r["g2c_errors"], r["cpu_max_latency"]) for r in rows],
+        title="timeout recovery",
+    )
+
+
+def _cmd_experiment(args):
+    runner = _EXPERIMENTS.get(args.name.lower())
+    if runner is None:
+        known = ", ".join(sorted(_EXPERIMENTS))
+        print(f"unknown experiment {args.name!r}; choose from: {known} "
+              f"(e3/e4/e5/e6/e12 run via pytest benchmarks/)", file=sys.stderr)
+        return 2
+    print(runner())
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Crossing Guard reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="coherent CPU/accelerator exchange")
+    demo.add_argument("--host", default="mesi", choices=["mesi", "hammer", "mesif"])
+    demo.add_argument("--variant", default="full_state",
+                      choices=["full_state", "transactional"])
+    demo.set_defaults(fn=_cmd_demo)
+
+    stress = sub.add_parser("stress", help="random protocol stress (Section 4.1)")
+    stress.add_argument("--seeds", type=int, default=2)
+    stress.add_argument("--ops", type=int, default=1500)
+    stress.set_defaults(fn=_cmd_stress)
+
+    fuzz = sub.add_parser("fuzz", help="byzantine accelerator safety campaign")
+    fuzz.add_argument("--host", default="mesi", choices=["mesi", "hammer", "mesif"])
+    fuzz.add_argument("--variant", default="full_state",
+                      choices=["full_state", "transactional"])
+    fuzz.add_argument("--adversary", default="fuzz",
+                      choices=["fuzz", "deaf", "wrong", "flood"])
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--duration", type=int, default=40_000)
+    fuzz.add_argument("--cpu-ops", dest="cpu_ops", type=int, default=1000)
+    fuzz.set_defaults(fn=_cmd_fuzz)
+
+    verify = sub.add_parser("verify", help="exhaustive interface verification")
+    verify.set_defaults(fn=_cmd_verify)
+
+    perf = sub.add_parser("perf", help="runtime by cache organization")
+    perf.add_argument("--workloads", nargs="*", default=None)
+    perf.add_argument("--scale", type=int, default=1)
+    perf.add_argument("--seed", type=int, default=7)
+    perf.set_defaults(fn=_cmd_perf)
+
+    experiment = sub.add_parser("experiment", help="run one table/figure experiment")
+    experiment.add_argument("name", help="e1, e2, e7, e8, e9, e10, e11")
+    experiment.set_defaults(fn=_cmd_experiment)
+
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

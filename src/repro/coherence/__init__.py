@@ -1,0 +1,29 @@
+"""SLICC-like controller framework.
+
+Provides the machinery SLICC generates for gem5 Ruby controllers: explicit
+(state, event) transition tables, transient-buffer entries (TBEs),
+per-address stall-and-wait buffers, and transition coverage accounting used
+by the Section 4.1 stress-test methodology.
+"""
+
+from repro.coherence.controller import (
+    CONSUMED,
+    RETRY,
+    STALL,
+    CoherenceController,
+    ProtocolError,
+)
+from repro.coherence.tbe import TBE, TBETable
+from repro.coherence.coverage import CoverageReport, collect_coverage
+
+__all__ = [
+    "CONSUMED",
+    "CoherenceController",
+    "CoverageReport",
+    "ProtocolError",
+    "RETRY",
+    "STALL",
+    "TBE",
+    "TBETable",
+    "collect_coverage",
+]

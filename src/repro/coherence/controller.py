@@ -1,0 +1,183 @@
+"""Base class for coherence controllers.
+
+Semantics mirror gem5 Ruby's generated controllers:
+
+* input ports are drained in declared priority order — responses before
+  forwards before requests, which is required for deadlock freedom;
+* a message whose transition cannot run yet is *stalled-and-waited* into a
+  per-address buffer and woken when that address's transaction closes;
+* every executed (state, event) pair is recorded for the Section 4.1
+  coverage accounting;
+* an undefined (state, event) pair raises :class:`ProtocolError` — the
+  "cache controller error" the paper's host must be protected from.
+"""
+
+from collections import defaultdict, deque
+
+from repro.sim.component import Component
+
+CONSUMED = "consumed"
+STALL = "stall"
+RETRY = "retry"
+
+
+class ProtocolError(RuntimeError):
+    """A controller saw an event its protocol does not define.
+
+    When a raw (unprotected) accelerator misbehaves, this is the host
+    crash the paper warns about; with Crossing Guard in place the host
+    never raises it.
+    """
+
+    def __init__(self, controller, state, event, msg, note=""):
+        self.controller = controller
+        self.state = state
+        self.event = event
+        self.msg = msg
+        state_name = getattr(state, "name", state)
+        event_name = getattr(event, "name", event)
+        detail = f" ({note})" if note else ""
+        super().__init__(
+            f"{controller.name}: no transition for state={state_name} "
+            f"event={event_name} on {msg}{detail}"
+        )
+
+
+class CoherenceController(Component):
+    """A state-machine controller with stall buffers and coverage.
+
+    Subclasses:
+      * set ``PORTS`` (priority order) and ``CONTROLLER_TYPE``;
+      * build ``self.transitions[(state, event)] = handler`` in
+        ``_build_transitions``;
+      * implement ``handle_message(port, msg) -> CONSUMED|STALL|RETRY``,
+        usually by classifying the message into an event and calling
+        :meth:`fire`.
+    """
+
+    CONTROLLER_TYPE = "generic"
+
+    #: ticks of processing time per consumed message (0 = infinitely fast,
+    #: the default). When set, the controller handles one message per
+    #: occupancy window, so a flooded directory develops real queueing —
+    #: used by the contention experiments.
+    occupancy = 0
+
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.transitions = {}
+        self.coverage = defaultdict(int)
+        #: transitions excluded from the coverage denominator (e.g. paths
+        #: reachable only with a misbehaving accelerator behind XG)
+        self.coverage_exempt = set()
+        self._build_transitions()
+        self._stalled = defaultdict(deque)
+        self._stalled_since = {}
+        self._busy_until = 0
+        self.protocol_errors = []
+
+    # -- subclass API -----------------------------------------------------------
+
+    def _build_transitions(self):
+        raise NotImplementedError
+
+    def handle_message(self, port, msg):
+        raise NotImplementedError
+
+    # -- transition machinery ------------------------------------------------
+
+    def fire(self, state, event, msg):
+        """Run the transition for (state, event); record coverage.
+
+        Returns the handler's outcome (CONSUMED unless it says otherwise).
+        """
+        handler = self.transitions.get((state, event))
+        if handler is None:
+            raise ProtocolError(self, state, event, msg)
+        outcome = handler(msg)
+        if outcome is None:
+            outcome = CONSUMED
+        if outcome is not STALL:
+            # Stalls are not transitions; only executed work counts.
+            self.coverage[(state, event)] += 1
+        return outcome
+
+    def has_transition(self, state, event):
+        return (state, event) in self.transitions
+
+    def possible_transitions(self):
+        """Declared (state, event) pairs — the coverage denominator."""
+        return set(self.transitions) - self.coverage_exempt
+
+    # -- stall-and-wait ---------------------------------------------------------
+
+    def stall_key(self, msg):
+        """Address key stalled messages wait on (override to customize)."""
+        return msg.addr
+
+    def wake_stalled(self, addr):
+        """Re-enqueue messages stalled on ``addr`` at their ports' heads."""
+        waiting = self._stalled.pop(addr, None)
+        self._stalled_since.pop(addr, None)
+        if not waiting:
+            return
+        for port, msg in reversed(waiting):
+            self.in_ports[port].push_front(self.sim.tick, msg)
+        self.request_wakeup()
+
+    def stalled_count(self):
+        return sum(len(queue) for queue in self._stalled.values())
+
+    # -- main loop ---------------------------------------------------------------
+
+    def wakeup(self):
+        if self.sim.tick < self._busy_until:
+            self.request_wakeup(self._busy_until)
+            return
+        while True:
+            did_work = False
+            for port in self.PORTS:
+                buf = self.in_ports[port]
+                # Pop BEFORE handling: a handler may wake stalled messages
+                # onto this port's head, and popping afterwards would
+                # remove the woken message and re-process this one.
+                msg = buf.pop(self.sim.tick)
+                if msg is None:
+                    continue
+                outcome = self.handle_message(port, msg)
+                if outcome == STALL:
+                    key = self.stall_key(msg)
+                    self._stalled[key].append((port, msg))
+                    self._stalled_since.setdefault(key, self.sim.tick)
+                    self.stats.inc("stalls")
+                    did_work = True
+                elif outcome == RETRY:
+                    buf.push_front(self.sim.tick, msg)
+                    continue
+                else:
+                    did_work = True
+                break
+            if did_work and self.occupancy:
+                # Busy for the occupancy window; resume afterwards.
+                self._busy_until = self.sim.tick + self.occupancy
+                self.stats.inc("busy_ticks", self.occupancy)
+                self.request_wakeup(self._busy_until)
+                return
+            if not did_work:
+                return
+
+    # -- deadlock accounting -------------------------------------------------------
+
+    def oldest_pending_tick(self, now):
+        oldest = super().oldest_pending_tick(now)
+        for since in self._stalled_since.values():
+            if oldest is None or since < oldest:
+                oldest = since
+        return oldest
+
+    # -- error reporting ------------------------------------------------------------
+
+    def note_protocol_anomaly(self, description, msg=None):
+        """Record a tolerated anomaly (xg-tolerant host modes sink these)."""
+        self.protocol_errors.append((self.sim.tick, description, msg))
+        self.stats.inc("protocol_anomalies")

@@ -1,0 +1,276 @@
+"""Experiments E7-E11: storage, PutS bandwidth, DoS throttling, timeout
+recovery, and block-size translation."""
+
+from repro.accel.block_shim import BlockShim
+from repro.accel.l1_single import AccelL1
+from repro.host.config import AccelOrg, HostProtocol, SystemConfig
+from repro.host.cpu import Sequencer
+from repro.host.system import build_system
+from repro.eval.perf import run_one
+from repro.testing.fuzzer import run_fuzz_campaign
+from repro.testing.random_tester import RandomTester
+from repro.workloads.synthetic import PERF_WORKLOADS
+from repro.xg.interface import XGVariant
+
+
+# -- E7: XG storage --------------------------------------------------------------
+
+def analytic_storage_bits(accel_cache_kib, block_size=64, tag_bits=26, open_txns=32):
+    """Analytic storage model (Section 2.3.1's ~16kB-tags-for-256kB example)."""
+    blocks = accel_cache_kib * 1024 // block_size
+    full_state = blocks * (tag_bits + 4)  # tag + state/permission bits
+    transactional = open_txns * (tag_bits + 32)
+    return {"full_state_bits": full_state, "transactional_bits": transactional}
+
+
+def run_storage_comparison(cache_sizes_kib=(16, 64, 256, 1024), workload="blocked_decode", scale=1):
+    """E7: Full State vs Transactional XG storage.
+
+    Analytic model across accelerator cache sizes plus live high-water
+    measurements from a workload run (both variants, MESI host).
+    """
+    analytic = []
+    for size in cache_sizes_kib:
+        row = analytic_storage_bits(size)
+        row["accel_cache_kib"] = size
+        row["full_state_kib"] = row["full_state_bits"] / 8 / 1024
+        row["transactional_kib"] = row["transactional_bits"] / 8 / 1024
+        analytic.append(row)
+    measured = []
+    builder = PERF_WORKLOADS(scale=scale)[workload]
+    for variant in (XGVariant.FULL_STATE, XGVariant.TRANSACTIONAL):
+        config = SystemConfig(
+            host=HostProtocol.MESI, org=AccelOrg.XG, xg_variant=variant,
+            n_cpus=2, n_accel_cores=2, seed=11,
+        )
+        _row, system = run_one(config, builder)
+        report = system.xg.storage_report()
+        report["config"] = config.label
+        measured.append(report)
+    return {"analytic": analytic, "measured": measured}
+
+
+# -- E8: PutS bandwidth overhead -----------------------------------------------------
+
+def _shared_read_builder(scale):
+    """Workload that actually produces PutS traffic: CPUs and accelerator
+    read-share a footprint larger than the (small) accelerator cache, so
+    the accelerator holds S copies and constantly replaces them."""
+    from repro.workloads.synthetic import WorkloadDriver, graph_walk
+
+    def build(system):
+        drivers = []
+        for index, seq in enumerate(system.cpu_seqs):
+            drivers.append(
+                WorkloadDriver(
+                    system.sim, seq,
+                    graph_walk(0x400000, 48, 200 * scale, seed=100 + index),
+                    max_outstanding=2,
+                )
+            )
+        for index, seq in enumerate(system.accel_seqs):
+            drivers.append(
+                WorkloadDriver(
+                    system.sim, seq,
+                    graph_walk(0x400000, 48, 300 * scale, seed=index),
+                    max_outstanding=4,
+                )
+            )
+        return drivers
+
+    build.__name__ = "shared_read"
+    return build
+
+
+def run_puts_overhead(scale=1, seed=7):
+    """E8: unnecessary PutS traffic on the Hammer host (paper: 1-4% of
+    XG-to-host bandwidth) and its suppression-register optimization."""
+    rows = []
+    workloads = dict(PERF_WORKLOADS(scale=scale))
+    workloads["shared_read"] = _shared_read_builder(scale)
+    for workload_name, builder in workloads.items():
+        for suppress in (False, True):
+            config = SystemConfig(
+                host=HostProtocol.HAMMER, org=AccelOrg.XG,
+                xg_variant=XGVariant.FULL_STATE, suppress_puts=suppress,
+                n_cpus=2, n_accel_cores=2, seed=seed,
+                accel_l1_sets=4, accel_l1_assoc=2,  # pressure -> replacements
+            )
+            _row, system = run_one(config, builder)
+            xg = system.xg
+            total = xg.stats.get("xg_to_host_msgs")
+            puts = xg.stats.get("xg_to_host.PutS")
+            rows.append(
+                {
+                    "workload": workload_name,
+                    "suppress_puts": suppress,
+                    "xg_to_host_msgs": total,
+                    "puts_msgs": puts,
+                    "puts_fraction": puts / total if total else 0.0,
+                    "puts_suppressed": xg.stats.get("puts_suppressed"),
+                }
+            )
+    return rows
+
+
+# -- E9: DoS rate limiting ----------------------------------------------------------------
+
+def run_rate_limit_sweep(
+    rates=(None, 64, 16, 4), host=HostProtocol.MESI, seed=5, duration=40_000, period=100
+):
+    """E9: a flooding accelerator vs CPU progress, across OS rate limits.
+
+    Reports CPU ops completed in a fixed window — the rate limiter should
+    restore CPU throughput as the limit tightens (Section 2.5).
+    """
+    rows = []
+    for rate in rates:
+        result, system = run_fuzz_campaign(
+            host,
+            XGVariant.FULL_STATE,
+            adversary="flood",
+            seed=seed,
+            duration=duration,
+            cpu_ops=100_000,  # effectively unbounded; the window limits it
+            adversary_kwargs={"gap": 2},
+            protect_cpu_pages=False,
+            rate_limit=None if rate is None else (rate, period),
+            host_bandwidth=0.5,  # shared fabric: where the DoS bites
+        )
+        cpu_latency = 0.0
+        cpu_count = 0
+        for seq in system.cpu_seqs:
+            hist = seq.stats.histogram("op_latency")
+            cpu_latency += hist.total
+            cpu_count += hist.count
+        rows.append(
+            {
+                "rate_limit": "unlimited" if rate is None else f"{rate}/{period}",
+                "cpu_ops_completed": result.cpu_loads_checked + result.cpu_stores_committed,
+                "cpu_mean_latency": cpu_latency / cpu_count if cpu_count else 0.0,
+                "adversary_requests_admitted": system.xg.rate_limiter.admitted,
+                "adversary_requests_throttled": system.xg.rate_limiter.throttled,
+                "host_safe": result.host_safe,
+            }
+        )
+    return rows
+
+
+# -- E11: timeout recovery ------------------------------------------------------------------------
+
+def run_timeout_recovery(timeouts=(1000, 4000, 16000), host=HostProtocol.MESI, seed=3):
+    """E11: a deaf accelerator; host requests complete via XG surrogates.
+
+    Reports CPU progress and G2c error counts per timeout setting — CPU
+    op latency should track the timeout (hostage time before XG answers
+    on the accelerator's behalf).
+    """
+    rows = []
+    for timeout in timeouts:
+        result, system = run_fuzz_campaign(
+            host,
+            XGVariant.FULL_STATE,
+            adversary="deaf",
+            seed=seed,
+            duration=60_000,
+            cpu_ops=600,
+            accel_timeout=timeout,
+            share_pool=True,  # CPUs contend for the deaf accel's blocks
+        )
+        cpu_latency = 0.0
+        cpu_ops = 0
+        for seq in system.cpu_seqs:
+            hist = seq.stats.histogram("op_latency")
+            cpu_latency += hist.total
+            cpu_ops += hist.count
+        rows.append(
+            {
+                "timeout": timeout,
+                "host_safe": result.host_safe,
+                "g2c_errors": result.violations.get("G2C_TIMEOUT", 0),
+                "cpu_ops_completed": cpu_ops,
+                "cpu_mean_latency": cpu_latency / cpu_ops if cpu_ops else 0.0,
+                "cpu_max_latency": max(
+                    (seq.stats.histogram("op_latency").max or 0) for seq in system.cpu_seqs
+                ),
+            }
+        )
+    return rows
+
+
+# -- E10: block-size translation ---------------------------------------------------------------------
+
+def build_translation_system(accel_block=256, seed=0, host=HostProtocol.MESI, stress=False):
+    """A Crossing Guard system with a wide-block accelerator via BlockShim."""
+    config = SystemConfig(
+        host=host, org=AccelOrg.XG, xg_variant=XGVariant.FULL_STATE,
+        n_cpus=2, n_accel_cores=1, seed=seed,
+        randomize_latencies=stress,
+        cpu_l1_sets=4 if stress else 64,
+        cpu_l1_assoc=2 if stress else 4,
+        shared_l2_sets=8 if stress else 256,
+        shared_l2_assoc=4 if stress else 8,
+        deadlock_threshold=400_000,
+        accel_timeout=150_000,
+        mem_latency=30 if stress else 100,
+    )
+    system = build_system(config)
+    sim = system.sim
+    # Replace the 64B accel L1 with a wide-block L1 behind the shim.
+    stock_l1 = system.accel_caches[0]
+    stock_l1.sequencers.clear()
+    shim = BlockShim(
+        sim, "shim", system.accel_net, "xg",
+        accel_block_size=accel_block, host_block_size=config.block_size,
+    )
+    system.accel_net.attach(shim)
+    system.xg.attach_accelerator("shim")
+    wide_l1 = AccelL1(
+        sim, "wide_l1", system.accel_net, "shim",
+        num_sets=4 if stress else 32, assoc=2, block_size=accel_block,
+    )
+    system.accel_net.attach(wide_l1)
+    shim.attach_accelerator("wide_l1")
+    system.accel_caches = [wide_l1]
+    new_seqs = []
+    for index, old in enumerate(system.accel_seqs):
+        seq = Sequencer(sim, f"wide_accel.{index}")
+        seq.attach(wide_l1)
+        new_seqs.append(seq)
+    system.accel_seqs = new_seqs
+    return system, shim
+
+
+def run_block_translation(accel_blocks=(128, 256), seed=1, ops=2000):
+    """E10: correctness + traffic cost of wide accelerator blocks.
+
+    Random checked traffic from CPUs (64B world) and the wide-block
+    accelerator over an overlapping address pool; reports the host-side
+    message amplification per accelerator op.
+    """
+    rows = []
+    for accel_block in accel_blocks:
+        system, shim = build_translation_system(
+            accel_block=accel_block, seed=seed, stress=True
+        )
+        # Enough host blocks to overflow the wide L1 so wide writebacks,
+        # probe races, and sibling flushes all occur.
+        pool = [0x10000 + 64 * i for i in range(48)]
+        tester = RandomTester(
+            system.sim, system.sequencers, pool, ops_target=ops, store_fraction=0.4
+        )
+        tester.run()
+        xg = system.xg
+        rows.append(
+            {
+                "accel_block": accel_block,
+                "ratio": accel_block // 64,
+                "loads_checked": tester.loads_checked,
+                "data_errors": 0,
+                "wide_fetches": shim.stats.get("wide_fetches"),
+                "wide_writebacks": shim.stats.get("wide_writebacks"),
+                "xg_to_host_msgs": xg.stats.get("xg_to_host_msgs"),
+                "xg_errors": len(system.error_log),
+            }
+        )
+    return rows

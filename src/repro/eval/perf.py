@@ -1,0 +1,83 @@
+"""Experiments E5/E6: performance of the 12 cache organizations.
+
+Runs each synthetic workload on every configuration and reports total
+runtime (ticks to drain) plus accelerator-side op latency — normalized to
+the unsafe accelerator-side cache, the paper's baseline.
+"""
+
+from repro.host.config import AccelOrg, HostProtocol, SystemConfig
+from repro.host.system import build_system
+from repro.workloads.synthetic import PERF_WORKLOADS, run_drivers
+from repro.xg.interface import XGVariant
+
+
+def perf_configs(host, seed=7, **overrides):
+    """The 6 organizations evaluated per host protocol."""
+    shared = dict(host=host, n_cpus=2, n_accel_cores=2, seed=seed)
+    shared.update(overrides)
+    return [
+        SystemConfig(org=AccelOrg.ACCEL_SIDE, **shared),
+        SystemConfig(org=AccelOrg.HOST_SIDE, **shared),
+        SystemConfig(org=AccelOrg.XG, xg_variant=XGVariant.FULL_STATE, **shared),
+        SystemConfig(org=AccelOrg.XG, xg_variant=XGVariant.TRANSACTIONAL, **shared),
+        SystemConfig(
+            org=AccelOrg.XG, xg_variant=XGVariant.FULL_STATE, accel_levels=2, **shared
+        ),
+        SystemConfig(
+            org=AccelOrg.XG, xg_variant=XGVariant.TRANSACTIONAL, accel_levels=2, **shared
+        ),
+    ]
+
+
+def run_one(config, workload_builder):
+    """Build, run one workload, and collect the metrics for one row."""
+    system = build_system(config)
+    drivers = workload_builder(system)
+    ticks = run_drivers(system.sim, drivers)
+    accel_lat = 0.0
+    accel_ops = 0
+    for seq in system.accel_seqs:
+        hist = seq.stats.histogram("op_latency")
+        accel_lat += hist.total
+        accel_ops += hist.count
+    cpu_lat = 0.0
+    cpu_ops = 0
+    for seq in system.cpu_seqs:
+        hist = seq.stats.histogram("op_latency")
+        cpu_lat += hist.total
+        cpu_ops += hist.count
+    host_msgs = system.sim.stats_for("network.host").get("messages")
+    row = {
+        "config": config.label,
+        "ticks": ticks,
+        "accel_mean_latency": accel_lat / accel_ops if accel_ops else 0.0,
+        "cpu_mean_latency": cpu_lat / cpu_ops if cpu_ops else 0.0,
+        "host_net_messages": host_msgs,
+    }
+    if system.error_log is not None:
+        row["xg_errors"] = len(system.error_log)
+    return row, system
+
+
+def run_perf_sweep(workloads=None, hosts=(HostProtocol.MESI, HostProtocol.HAMMER), scale=1, seed=7):
+    """E5/E6: the full runtime/latency sweep.
+
+    Returns {workload: [row per config]} with ``ticks_norm`` relative to
+    the accel-side baseline of the same host.
+    """
+    selected = PERF_WORKLOADS(scale=scale)
+    if workloads is not None:
+        selected = {name: selected[name] for name in workloads}
+    results = {}
+    for name, builder in selected.items():
+        rows = []
+        for host in hosts:
+            baseline = None
+            for config in perf_configs(host, seed=seed):
+                row, _system = run_one(config, builder)
+                if baseline is None:
+                    baseline = row["ticks"]
+                row["ticks_norm"] = row["ticks"] / baseline
+                rows.append(row)
+        results[name] = rows
+    return results

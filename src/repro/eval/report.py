@@ -1,0 +1,30 @@
+"""Plain-text table formatting for experiment output."""
+
+
+def format_table(headers, rows, title=None):
+    """Render an aligned text table."""
+    columns = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in columns) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(columns[0], widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in columns[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def normalize_rows(rows, key, baseline_label, label_key="config"):
+    """Add ``<key>_norm`` = value / baseline's value to each row dict."""
+    baseline = None
+    for row in rows:
+        if row[label_key] == baseline_label:
+            baseline = row[key]
+            break
+    if not baseline:
+        raise ValueError(f"no baseline row {baseline_label!r}")
+    for row in rows:
+        row[f"{key}_norm"] = row[key] / baseline
+    return rows

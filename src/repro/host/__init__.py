@@ -1,0 +1,6 @@
+"""Host-side system components: CPU sequencers, host-side accelerator cache,
+system builders for the paper's 12 evaluated configurations."""
+
+from repro.host.cpu import Sequencer
+
+__all__ = ["Sequencer"]

@@ -1,0 +1,100 @@
+"""Load/store sequencer.
+
+The sequencer is the CPU- (or accelerator-core-) side of a cache
+controller's mandatory queue: workloads issue byte loads and stores, the
+sequencer tracks outstanding requests and completion latency, and delivers
+completions back to workload callbacks. It replaces gem5-gpu's timing CPU
+models — instruction semantics are irrelevant to coherence behavior, the
+load/store stream is what exercises the protocols.
+"""
+
+from repro.protocols.common import CpuOp
+from repro.sim.component import Component
+from repro.sim.message import Message
+
+
+class OutstandingOp:
+    """Bookkeeping for one in-flight load or store."""
+
+    __slots__ = ("msg", "callback", "issued_at")
+
+    def __init__(self, msg, callback, issued_at):
+        self.msg = msg
+        self.callback = callback
+        self.issued_at = issued_at
+
+
+class Sequencer(Component):
+    """Issues loads/stores into an attached cache controller.
+
+    Any number of requests may be outstanding (subject to
+    ``max_outstanding``); the attached controller completes them in any
+    order via :meth:`request_done`.
+    """
+
+    PORTS = ()
+
+    def __init__(self, sim, name, issue_latency=1, response_latency=0, max_outstanding=16):
+        super().__init__(sim, name)
+        self.cache = None
+        self.issue_latency = issue_latency
+        self.response_latency = response_latency
+        self.max_outstanding = max_outstanding
+        self.outstanding = {}
+
+    def attach(self, cache_controller):
+        """Bind to the L1-like controller this sequencer feeds."""
+        self.cache = cache_controller
+        cache_controller.attach_sequencer(self)
+
+    # -- issue -----------------------------------------------------------------
+
+    def can_issue(self):
+        return self.cache is not None and len(self.outstanding) < self.max_outstanding
+
+    def load(self, addr, callback=None):
+        """Issue a byte load. Returns the request message."""
+        return self._issue(CpuOp.Load, addr, None, callback)
+
+    def store(self, addr, value, callback=None):
+        """Issue a byte store of ``value``. Returns the request message."""
+        return self._issue(CpuOp.Store, addr, value, callback)
+
+    def _issue(self, op, addr, value, callback):
+        if not self.can_issue():
+            raise RuntimeError(f"{self.name}: cannot issue (full or unattached)")
+        msg = Message(op, addr, sender=self.name, dest=self.cache.name, value=value)
+        self.outstanding[msg.uid] = OutstandingOp(msg, callback, self.sim.tick)
+        self.cache.deliver("mandatory", self.sim.tick + self.issue_latency, msg)
+        self.stats.inc("ops_issued")
+        return msg
+
+    # -- completion ----------------------------------------------------------------
+
+    def request_done(self, msg, data):
+        """Called by the cache controller when ``msg`` completes.
+
+        ``response_latency`` models a return link (the host-side-cache
+        organization pays it on every access).
+        """
+        record = self.outstanding.pop(msg.uid)
+        if self.response_latency:
+            self.sim.schedule(self.response_latency, self._complete, record, msg, data)
+        else:
+            self._complete(record, msg, data)
+
+    def _complete(self, record, msg, data):
+        latency = self.sim.tick - record.issued_at
+        self.stats.inc("ops_completed")
+        self.stats.observe("op_latency", latency)
+        if record.callback is not None:
+            record.callback(msg, data)
+
+    def drained(self):
+        return not self.outstanding
+
+    def oldest_pending_tick(self, now):
+        """Outstanding ops count as pending work for the deadlock watchdog."""
+        if not self.outstanding:
+            return None
+        return min(record.issued_at for record in self.outstanding.values())

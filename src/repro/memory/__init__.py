@@ -1,0 +1,15 @@
+"""Memory substrate: data blocks, set-associative cache arrays, main memory."""
+
+from repro.memory.datablock import BLOCK_SIZE, DataBlock, block_align, block_offset
+from repro.memory.cache_array import CacheArray, CacheEntry
+from repro.memory.main_memory import MainMemory
+
+__all__ = [
+    "BLOCK_SIZE",
+    "CacheArray",
+    "CacheEntry",
+    "DataBlock",
+    "MainMemory",
+    "block_align",
+    "block_offset",
+]

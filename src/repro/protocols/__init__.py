@@ -1,0 +1,19 @@
+"""Host coherence protocols.
+
+Two baselines, mirroring the paper's Section 3:
+
+* :mod:`repro.protocols.hammer` — AMD-Hammer-like exclusive MOESI with
+  broadcast forwards, response counting, owner-tracking directory, and
+  two-phase writeback (gem5 ``MOESI_hammer`` analogue).
+* :mod:`repro.protocols.mesi` — inclusive MESI two-level with a shared L2
+  that embeds an exact-sharer directory (gem5 ``MESI_Two_Level`` analogue).
+
+Both expose the host-protocol modification flags Transactional Crossing
+Guard needs (Section 3.2): response counting instead of ack counting /
+ack-data equivalence, unexpected-Nack sinking, and the non-upgradable
+``GetS_Only`` request.
+"""
+
+from repro.protocols.common import CpuOp
+
+__all__ = ["CpuOp"]

@@ -1,0 +1,98 @@
+"""Pieces shared by both host protocols and the accelerator caches.
+
+Defines the CPU-facing request types (the "mandatory queue" in Ruby
+terms) and a cache controller base with the bookkeeping every L1-like
+controller needs: a data array plus a TBE table, combined state lookup,
+sequencer completion callbacks, and replacement victim selection.
+"""
+
+import enum
+
+from repro.coherence.controller import CoherenceController
+from repro.coherence.tbe import TBETable
+from repro.memory.cache_array import CacheArray
+from repro.memory.datablock import block_align, block_offset
+
+
+class CpuOp(enum.Enum):
+    """Requests a sequencer (CPU or accelerator core) issues to its cache."""
+
+    Load = enum.auto()
+    Store = enum.auto()
+
+
+class CacheControllerBase(CoherenceController):
+    """Base for controllers that own a data array + TBE table.
+
+    The "state" of a block is its TBE's transient state when a transaction
+    is open, the resident entry's stable state otherwise, and the
+    protocol's invalid state when neither exists.
+    """
+
+    INVALID_STATE = None
+
+    def __init__(self, sim, name, num_sets=64, assoc=4, block_size=64, tbe_capacity=None):
+        self.cache = CacheArray(num_sets, assoc, block_size=block_size, name=name)
+        self.tbes = TBETable(capacity=tbe_capacity, name=name)
+        self.block_size = block_size
+        self.sequencers = {}
+        super().__init__(sim, name)
+
+    # -- state lookup ----------------------------------------------------------
+
+    def block_state(self, addr):
+        """Current protocol state of ``addr``'s block."""
+        addr = self.align(addr)
+        tbe = self.tbes.lookup(addr)
+        if tbe is not None:
+            return tbe.state
+        entry = self.cache.lookup(addr, touch=False)
+        if entry is not None:
+            return entry.state
+        return self.INVALID_STATE
+
+    def align(self, addr):
+        return block_align(addr, self.block_size)
+
+    def stall_key(self, msg):
+        """Stall on the block, not the byte: CPU ops carry full addresses."""
+        return self.align(msg.addr)
+
+    def offset(self, addr):
+        return block_offset(addr, self.block_size)
+
+    # -- sequencer interface -----------------------------------------------------
+
+    def attach_sequencer(self, sequencer):
+        """Register a sequencer; several may share one cache (GPU cores)."""
+        self.sequencers[sequencer.name] = sequencer
+
+    def respond_to_cpu(self, msg, data):
+        """Complete a CPU op back to its issuing sequencer."""
+        sequencer = self.sequencers.get(msg.sender)
+        if sequencer is not None:
+            sequencer.request_done(msg, data.copy() if data is not None else None)
+
+    # -- replacement helpers --------------------------------------------------------
+
+    def stable_victim(self, addr):
+        """LRU victim in ``addr``'s set that is in a stable state, or None.
+
+        Entries with an open TBE are mid-transaction and cannot be evicted.
+        """
+        target_set_index = self.cache.set_index(self.align(addr))
+        candidates = [
+            entry
+            for entry in self.cache.entries()
+            if self.cache.set_index(entry.addr) == target_set_index
+            and entry.addr not in self.tbes
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda entry: entry.last_use)
+
+    def has_room_or_victim(self, addr):
+        """True when a fill for ``addr`` can proceed now or after an eviction."""
+        if not self.cache.is_set_full(addr):
+            return True
+        return self.stable_victim(addr) is not None

@@ -1,0 +1,25 @@
+"""AMD-Hammer-like exclusive MOESI host protocol (gem5 ``MOESI_hammer``
+analogue).
+
+Per-core combined L1/L2 cache controllers sit on a broadcast interconnect.
+The directory tracks only the owner (enough to Nack stale Puts) and
+broadcasts every Get to all other caches; *every* cache responds to the
+requestor — data if owner, an ack otherwise — and the requestor counts
+exactly ``n_peers + 1`` responses (peers plus memory). Writebacks are
+two-phase (PutM → WBAck → WBData), the race the paper calls out when
+integrating Crossing Guard (Section 3.2.1).
+"""
+
+from repro.protocols.hammer.messages import HammerMsg
+from repro.protocols.hammer.cache import HammerCache, HCEvent, HCState
+from repro.protocols.hammer.directory import DirEvent, DirState, HammerDirectory
+
+__all__ = [
+    "DirEvent",
+    "DirState",
+    "HCEvent",
+    "HCState",
+    "HammerCache",
+    "HammerDirectory",
+    "HammerMsg",
+]

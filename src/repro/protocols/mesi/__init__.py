@@ -1,0 +1,23 @@
+"""Inclusive MESI two-level host protocol (gem5 ``MESI_Two_Level`` analogue).
+
+Private L1s attach to a shared, inclusive L2 that embeds an exact-sharer
+directory. The L2 is a blocking directory: one open transaction per block,
+closed by an Unblock from the requestor; racing requests stall in
+per-address buffers. Invalidation acks flow directly from sharers to the
+requestor, which counts them (the complexity Crossing Guard hides from
+accelerator caches).
+"""
+
+from repro.protocols.mesi.messages import MesiMsg
+from repro.protocols.mesi.l1 import L1Event, L1State, MesiL1
+from repro.protocols.mesi.l2 import L2Event, L2State, MesiL2
+
+__all__ = [
+    "L1Event",
+    "L1State",
+    "L2Event",
+    "L2State",
+    "MesiL1",
+    "MesiL2",
+    "MesiMsg",
+]

@@ -1,0 +1,180 @@
+"""Component and message-buffer primitives.
+
+A :class:`Component` is anything attached to the simulator (cache
+controllers, directories, sequencers, Crossing Guard). Components receive
+messages through named :class:`MessageBuffer` input ports; the network
+enqueues messages at their arrival tick and schedules a component wakeup.
+"""
+
+from collections import deque
+
+from repro.sim.stats import Stats
+
+
+class MessageBuffer:
+    """An input port: messages become visible at their arrival tick.
+
+    The buffer preserves arrival order. ``peek``/``pop`` only expose
+    messages whose arrival tick is <= the current tick.
+    """
+
+    def __init__(self, name=""):
+        self.name = name
+        self._queue = deque()
+
+    def enqueue(self, arrival_tick, msg):
+        """Insert a message that becomes visible at ``arrival_tick``.
+
+        Arrival ticks are non-decreasing per sender on ordered links; on
+        unordered links messages may be enqueued out of tick order, so we
+        insert in sorted position (stable for equal ticks).
+        """
+        entry = (arrival_tick, msg)
+        if not self._queue or self._queue[-1][0] <= arrival_tick:
+            self._queue.append(entry)
+            return
+        # Rare out-of-order insert (unordered network): stable insertion.
+        items = list(self._queue)
+        for index, (tick, _existing) in enumerate(items):
+            if tick > arrival_tick:
+                items.insert(index, entry)
+                break
+        self._queue = deque(items)
+
+    def push_front(self, tick, msg):
+        """Re-insert a message at the head (used to wake stalled messages)."""
+        self._queue.appendleft((tick, msg))
+
+    def peek(self, now):
+        """Head message if it has arrived by ``now``, else None."""
+        if self._queue and self._queue[0][0] <= now:
+            return self._queue[0][1]
+        return None
+
+    def pop(self, now):
+        """Remove and return the head message if arrived, else None."""
+        if self._queue and self._queue[0][0] <= now:
+            return self._queue.popleft()[1]
+        return None
+
+    def next_arrival_tick(self):
+        """Arrival tick of the head message, or None when empty."""
+        if self._queue:
+            return self._queue[0][0]
+        return None
+
+    def next_arrival_after(self, now):
+        """Earliest arrival tick strictly greater than ``now``, or None.
+
+        Skips already-visible messages (which a RETRYing controller may
+        legitimately leave queued) so wakeup re-arming keys off genuinely
+        future deliveries.
+        """
+        for tick, _msg in self._queue:
+            if tick > now:
+                return tick
+        return None
+
+    def oldest_visible_tick(self, now):
+        """Arrival tick of the head message if visible at ``now``."""
+        if self._queue and self._queue[0][0] <= now:
+            return self._queue[0][0]
+        return None
+
+    def __len__(self):
+        return len(self._queue)
+
+    def __iter__(self):
+        return (msg for _tick, msg in self._queue)
+
+
+class Component:
+    """Base class for everything attached to the simulator.
+
+    Subclasses declare input port names in ``PORTS`` (highest priority
+    first; responses must outrank requests to avoid protocol deadlock) and
+    implement :meth:`wakeup` to drain them.
+    """
+
+    PORTS = ()
+
+    #: When True the deadlock watchdog ignores this component. Used for
+    #: deliberately-misbehaving accelerator models in the fuzz harness —
+    #: only the *host* must stay deadlock-free (paper Section 4).
+    watchdog_exempt = False
+
+    def __init__(self, sim, name):
+        self.sim = sim
+        self.name = name
+        self.stats = Stats(owner=name)
+        self.in_ports = {port: MessageBuffer(f"{name}.{port}") for port in self.PORTS}
+        self._wakeup_event = None
+        sim.register(self)
+
+    # -- message delivery (called by the network) ---------------------------
+
+    def deliver(self, port, arrival_tick, msg):
+        """Enqueue ``msg`` on ``port`` and ensure a wakeup at arrival."""
+        self.in_ports[port].enqueue(arrival_tick, msg)
+        self.request_wakeup(arrival_tick)
+
+    def request_wakeup(self, tick=None):
+        """Schedule :meth:`wakeup` at ``tick`` (default: now).
+
+        At most ONE wakeup event is outstanding per component: an
+        equal-or-earlier pending wakeup absorbs the request, a later one
+        is cancelled and rescheduled earlier. Without this invariant,
+        wakeups that reschedule themselves (e.g. rate-limiter retries)
+        compound into an event storm.
+        """
+        if tick is None:
+            tick = self.sim.tick
+        tick = max(tick, self.sim.tick)
+        pending = self._wakeup_event
+        if pending is not None and not pending.cancelled:
+            if pending.tick <= tick:
+                return
+            pending.cancel()
+        self._wakeup_event = self.sim.schedule_at(tick, self._wakeup_wrapper)
+
+    def _wakeup_wrapper(self):
+        self._wakeup_event = None
+        self.wakeup()
+        # If messages remain that arrive in the future, wake again then.
+        # Visible-but-unconsumed (RETRYing) messages must not mask them.
+        future_ticks = [
+            buf.next_arrival_after(self.sim.tick)
+            for buf in self.in_ports.values()
+        ]
+        future_ticks = [tick for tick in future_ticks if tick is not None]
+        if future_ticks:
+            self.request_wakeup(min(future_ticks))
+
+    def next_pending_tick(self):
+        """Earliest arrival tick over all input ports, or None."""
+        ticks = [
+            buf.next_arrival_tick()
+            for buf in self.in_ports.values()
+            if buf.next_arrival_tick() is not None
+        ]
+        return min(ticks) if ticks else None
+
+    # -- hooks ---------------------------------------------------------------
+
+    def wakeup(self):
+        """Process arrived messages. Subclasses override."""
+
+    def oldest_pending_tick(self, now):
+        """Oldest visible-but-unprocessed message tick (deadlock watchdog).
+
+        Returns None when the component has no visible pending work.
+        """
+        ticks = [
+            buf.oldest_visible_tick(now)
+            for buf in self.in_ports.values()
+            if buf.oldest_visible_tick(now) is not None
+        ]
+        return min(ticks) if ticks else None
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.name!r})"

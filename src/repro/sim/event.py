@@ -1,0 +1,83 @@
+"""Tick-based event queue.
+
+Events are callbacks scheduled at an absolute tick. Ties are broken by
+insertion order so simulation is fully deterministic for a given seed.
+"""
+
+import heapq
+import itertools
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`EventQueue.schedule` and can be
+    cancelled before they fire. A cancelled event stays in the heap but is
+    skipped when popped.
+    """
+
+    __slots__ = ("tick", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, tick, seq, callback, args):
+        self.tick = tick
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self):
+        """Prevent the event from firing when its tick is reached."""
+        self.cancelled = True
+
+    def fire(self):
+        """Invoke the callback unless cancelled."""
+        if not self.cancelled:
+            self.callback(*self.args)
+
+    def __lt__(self, other):
+        return (self.tick, self.seq) < (other.tick, other.seq)
+
+    def __repr__(self):
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(tick={self.tick}, seq={self.seq}, {state})"
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self):
+        self._heap = []
+        self._counter = itertools.count()
+
+    def schedule(self, tick, callback, *args):
+        """Schedule ``callback(*args)`` at absolute ``tick``.
+
+        Returns the :class:`Event`, which may be cancelled.
+        """
+        if tick < 0:
+            raise ValueError(f"cannot schedule at negative tick {tick}")
+        event = Event(tick, next(self._counter), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self):
+        """Remove and return the earliest non-cancelled event, or None."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_tick(self):
+        """Tick of the earliest non-cancelled event, or None if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0].tick
+        return None
+
+    def __len__(self):
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __bool__(self):
+        return self.peek_tick() is not None

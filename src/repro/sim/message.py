@@ -1,0 +1,88 @@
+"""Generic coherence message carrier.
+
+Each protocol defines its own message-type enum; the :class:`Message` object
+itself is protocol-agnostic and carries the handful of fields coherence
+protocols need (address, data payload, requestor identity, ack counts,
+dirty bits). Unused fields stay at their defaults.
+"""
+
+import itertools
+
+_MSG_IDS = itertools.count()
+
+
+class Message:
+    """One coherence message in flight.
+
+    Attributes:
+        mtype: protocol-specific enum member naming the message.
+        addr: block-aligned physical address the message concerns.
+        sender: name of the controller that sent the message.
+        dest: name of the destination controller.
+        data: optional :class:`~repro.memory.datablock.DataBlock` payload.
+        requestor: for forwarded requests, the original requestor's name
+            (responses go there rather than back to the directory).
+        ack_count: number of invalidation acks the receiver should expect,
+            or for ack messages, how many acks this message is worth.
+        dirty: True when the payload is modified with respect to memory.
+        shared_hint: Hammer-style hint that the responder held the block
+            (decides S vs E at the requestor).
+        uid: unique id for tracing and ordered-network tie-breaking.
+    """
+
+    __slots__ = (
+        "mtype",
+        "addr",
+        "sender",
+        "dest",
+        "data",
+        "requestor",
+        "ack_count",
+        "dirty",
+        "shared_hint",
+        "value",
+        "uid",
+        "send_tick",
+    )
+
+    def __init__(
+        self,
+        mtype,
+        addr,
+        sender="",
+        dest="",
+        data=None,
+        requestor=None,
+        ack_count=0,
+        dirty=False,
+        shared_hint=False,
+        value=None,
+    ):
+        self.mtype = mtype
+        self.addr = addr
+        self.sender = sender
+        self.dest = dest
+        self.data = data
+        self.requestor = requestor
+        self.ack_count = ack_count
+        self.dirty = dirty
+        self.shared_hint = shared_hint
+        self.value = value
+        self.uid = next(_MSG_IDS)
+        self.send_tick = None
+
+    def __repr__(self):
+        fields = [
+            f"{getattr(self.mtype, 'name', self.mtype)}",
+            f"addr={self.addr:#x}" if isinstance(self.addr, int) else f"addr={self.addr}",
+            f"{self.sender}->{self.dest}",
+        ]
+        if self.requestor is not None:
+            fields.append(f"req={self.requestor}")
+        if self.ack_count:
+            fields.append(f"acks={self.ack_count}")
+        if self.data is not None:
+            fields.append("+data")
+        if self.dirty:
+            fields.append("dirty")
+        return f"Message({', '.join(fields)})"

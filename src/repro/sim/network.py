@@ -1,0 +1,142 @@
+"""Point-to-point interconnect with ordered and unordered delivery.
+
+The paper requires an *ordered* network between Crossing Guard and the
+accelerator (Section 2.1) while the host interconnect may be unordered; the
+stress tester additionally randomizes per-message latency to model
+in-network delays (Section 4.1). Both behaviors live here.
+
+A :class:`Network` routes by destination component name to a named input
+port. Ordered networks enforce FIFO per (sender, dest, port) by clamping
+each arrival tick to be >= the previous arrival on that lane.
+"""
+
+
+class FixedLatency:
+    """Constant message latency."""
+
+    def __init__(self, latency):
+        if latency < 1:
+            raise ValueError("latency must be >= 1 tick")
+        self.latency = latency
+
+    def sample(self, rng):
+        return self.latency
+
+    def __repr__(self):
+        return f"FixedLatency({self.latency})"
+
+
+class RandomLatency:
+    """Uniform random latency in [lo, hi] — the stress tester's model."""
+
+    def __init__(self, lo, hi):
+        if not 1 <= lo <= hi:
+            raise ValueError(f"need 1 <= lo <= hi, got [{lo}, {hi}]")
+        self.lo = lo
+        self.hi = hi
+
+    def sample(self, rng):
+        return rng.randint(self.lo, self.hi)
+
+    def __repr__(self):
+        return f"RandomLatency({self.lo}, {self.hi})"
+
+
+class Network:
+    """Routes messages between registered components.
+
+    Args:
+        sim: owning simulator (provides clock and RNG).
+        latency: a latency model (:class:`FixedLatency` or
+            :class:`RandomLatency`).
+        ordered: when True, delivery is FIFO per (sender, dest, port) lane
+            even under random latency.
+        name: label used in statistics.
+    """
+
+    def __init__(self, sim, latency, ordered=False, name="net", bandwidth=None):
+        self.sim = sim
+        self.latency = latency
+        self.ordered = ordered
+        self.name = name
+        #: messages per tick the fabric can carry (None = unlimited).
+        #: Models shared-link contention — what a flooding accelerator
+        #: actually steals from the host (Section 2.5).
+        self.bandwidth = bandwidth
+        self._next_slot = 0.0
+        self._endpoints = {}
+        self._endpoint_delay = {}
+        self._last_arrival = {}
+        self.stats = sim.stats_for(f"network.{name}")
+        sim.register_network(self)
+
+    def attach(self, component):
+        """Register a component as routable by its name."""
+        if component.name in self._endpoints:
+            raise ValueError(f"duplicate endpoint {component.name!r} on {self.name}")
+        self._endpoints[component.name] = component
+
+    def endpoints(self):
+        return list(self._endpoints)
+
+    def set_endpoint_delay(self, name, extra):
+        """Add ``extra`` ticks to every message to or from ``name``.
+
+        Models a physically distant agent — e.g. an accelerator-side cache
+        on the far side of the host/accelerator crossing (Figure 2a).
+        """
+        self._endpoint_delay[name] = extra
+
+    def send(self, msg, port, delay=0):
+        """Send ``msg`` to ``msg.dest``'s input ``port``.
+
+        ``delay`` adds sender-side ticks before the network latency applies.
+        Raises KeyError for unknown destinations — a real hardware message
+        to a nonexistent agent is a design error, never silently dropped.
+        """
+        dest = self._endpoints.get(msg.dest)
+        if dest is None:
+            raise KeyError(f"{self.name}: unknown destination {msg.dest!r} for {msg}")
+        if port not in dest.in_ports:
+            raise KeyError(f"{self.name}: {msg.dest!r} has no port {port!r}")
+        msg.send_tick = self.sim.tick
+        latency = self.latency.sample(self.sim.rng)
+        latency += self._endpoint_delay.get(msg.sender, 0)
+        latency += self._endpoint_delay.get(msg.dest, 0)
+        arrival = self.sim.tick + delay + latency
+        if self.bandwidth is not None:
+            slot = max(float(self.sim.tick), self._next_slot)
+            self._next_slot = slot + 1.0 / self.bandwidth
+            queueing = int(slot) - self.sim.tick
+            if queueing > 0:
+                self.stats.inc("queueing_ticks", queueing)
+            arrival += queueing
+        if self.ordered:
+            # One serial lane per (sender, dest) pair across ALL ports:
+            # the paper's ordered accel link must keep a Put ordered ahead
+            # of the InvAck that follows it even though they arrive on
+            # different virtual channels. Strictly increasing arrivals so
+            # the receiver's port priorities cannot reorder same-tick pairs.
+            lane = (msg.sender, msg.dest)
+            previous = self._last_arrival.get(lane, 0)
+            arrival = max(arrival, previous + 1)
+            self._last_arrival[lane] = arrival
+        self.stats.inc("messages")
+        self.stats.inc(f"msg.{getattr(msg.mtype, 'name', msg.mtype)}")
+        if msg.data is not None:
+            self.stats.inc("data_messages")
+        dest.deliver(port, arrival, msg)
+        return arrival
+
+    def broadcast(self, msg_factory, dests, port, delay=0):
+        """Send one message per destination; ``msg_factory(dest)`` builds it."""
+        arrivals = []
+        for dest in dests:
+            msg = msg_factory(dest)
+            msg.dest = dest
+            arrivals.append(self.send(msg, port, delay=delay))
+        return arrivals
+
+    def __repr__(self):
+        kind = "ordered" if self.ordered else "unordered"
+        return f"Network({self.name!r}, {kind}, {self.latency!r})"

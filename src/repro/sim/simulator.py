@@ -1,0 +1,161 @@
+"""The simulator: clock, event loop, deterministic RNG, deadlock watchdog.
+
+The watchdog implements the property the paper's safety evaluation relies
+on: a *deadlock* is a visible message that no controller consumes for
+``deadlock_threshold`` ticks. The fuzz harness asserts this never fires on
+host-side components when Crossing Guard is in place.
+"""
+
+import random
+
+from repro.sim.event import EventQueue
+from repro.sim.stats import Stats
+
+
+class DeadlockError(RuntimeError):
+    """A component left a visible message unprocessed past the threshold."""
+
+    def __init__(self, component, stalled_since, now):
+        self.component = component
+        self.stalled_since = stalled_since
+        self.now = now
+        super().__init__(
+            f"deadlock: {component.name} has work pending since tick "
+            f"{stalled_since} (now {now})"
+        )
+
+
+class Simulator:
+    """Owns the clock, the event queue, components, and global stats."""
+
+    def __init__(self, seed=0, deadlock_threshold=None):
+        self.tick = 0
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self.events = EventQueue()
+        self.components = []
+        self.networks = []
+        self._stats = {}
+        self.deadlock_threshold = deadlock_threshold
+        self._events_fired = 0
+
+    # -- registration --------------------------------------------------------
+
+    def register(self, component):
+        self.components.append(component)
+
+    def register_network(self, network):
+        self.networks.append(network)
+
+    def component(self, name):
+        """Look up a registered component by name."""
+        for comp in self.components:
+            if comp.name == name:
+                return comp
+        raise KeyError(f"no component named {name!r}")
+
+    def stats_for(self, owner):
+        """A named Stats bag owned by the simulator (for networks etc.)."""
+        if owner not in self._stats:
+            self._stats[owner] = Stats(owner=owner)
+        return self._stats[owner]
+
+    # -- scheduling -----------------------------------------------------------
+
+    def schedule(self, delay, callback, *args):
+        """Schedule ``callback`` ``delay`` ticks from now."""
+        if delay < 0:
+            raise ValueError("delay must be >= 0")
+        return self.events.schedule(self.tick + delay, callback, *args)
+
+    def schedule_at(self, tick, callback, *args):
+        """Schedule ``callback`` at absolute ``tick`` (>= now)."""
+        if tick < self.tick:
+            raise ValueError(f"cannot schedule in the past ({tick} < {self.tick})")
+        return self.events.schedule(tick, callback, *args)
+
+    # -- the event loop --------------------------------------------------------
+
+    def run(self, max_ticks=None, max_events=None, final_check=True):
+        """Drain the event queue.
+
+        Stops when the queue empties, when the clock passes ``max_ticks``,
+        or after ``max_events`` callbacks. Returns the reason:
+        ``"idle"``, ``"max_ticks"``, or ``"max_events"``.
+
+        Raises :class:`DeadlockError` if the watchdog is armed and a
+        component sits on visible work too long, or — unless
+        ``final_check=False`` — if the queue empties while any component
+        still has pending work (nothing can ever consume it).
+        """
+        fired = 0
+        check_interval = None
+        next_check = None
+        if self.deadlock_threshold is not None:
+            check_interval = max(1, self.deadlock_threshold // 4)
+            next_check = self.tick + check_interval
+        while True:
+            event = self.events.pop()
+            if event is None:
+                if final_check:
+                    self._check_deadlock(final=True)
+                return "idle"
+            if max_ticks is not None and event.tick > max_ticks:
+                # put it back conceptually: we simply stop; tick freezes at limit
+                self.events.schedule(event.tick, event.callback, *event.args)
+                self.tick = max_ticks
+                return "max_ticks"
+            if event.tick < self.tick:
+                raise AssertionError("event queue went backwards in time")
+            self.tick = event.tick
+            event.fire()
+            fired += 1
+            self._events_fired += 1
+            if max_events is not None and fired >= max_events:
+                return "max_events"
+            if next_check is not None and self.tick >= next_check:
+                self._check_deadlock(final=False)
+                next_check = self.tick + check_interval
+
+    def _check_deadlock(self, final):
+        """Raise when a component has visible pending work that is too old.
+
+        On ``final`` (queue empty), *any* visible pending work is a deadlock:
+        nothing can ever consume it.
+        """
+        if self.deadlock_threshold is None and not final:
+            return
+        for comp in self.components:
+            if comp.watchdog_exempt:
+                continue
+            oldest = comp.oldest_pending_tick(self.tick)
+            if oldest is None:
+                continue
+            if final:
+                raise DeadlockError(comp, oldest, self.tick)
+            if self.tick - oldest > self.deadlock_threshold:
+                raise DeadlockError(comp, oldest, self.tick)
+
+    # -- reporting --------------------------------------------------------------
+
+    def aggregate_stats(self):
+        """Merge every component's and network's stats into one bag."""
+        total = Stats(owner="aggregate")
+        for comp in self.components:
+            comp.stats.merge_into(total)
+        for stats in self._stats.values():
+            stats.merge_into(total)
+        return total
+
+    def stats_report(self):
+        """Per-owner dict of stats dicts."""
+        report = {comp.name: comp.stats.as_dict() for comp in self.components}
+        for owner, stats in self._stats.items():
+            report[owner] = stats.as_dict()
+        return report
+
+    def __repr__(self):
+        return (
+            f"Simulator(tick={self.tick}, components={len(self.components)}, "
+            f"events_fired={self._events_fired})"
+        )

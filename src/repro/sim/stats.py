@@ -1,0 +1,104 @@
+"""Lightweight statistics: counters and streaming histograms.
+
+Every component owns a :class:`Stats` instance; the simulator can aggregate
+them into one report. Values are plain Python numbers so reports serialize
+trivially.
+"""
+
+
+class Histogram:
+    """Streaming histogram tracking count/sum/min/max and coarse buckets."""
+
+    __slots__ = ("count", "total", "min", "max", "buckets", "_bucket_width")
+
+    def __init__(self, bucket_width=16):
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+        self.buckets = {}
+        self._bucket_width = bucket_width
+
+    def observe(self, value):
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        bucket = int(value) // self._bucket_width
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self):
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    def as_dict(self):
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def __repr__(self):
+        return (
+            f"Histogram(count={self.count}, mean={self.mean:.2f}, "
+            f"min={self.min}, max={self.max})"
+        )
+
+
+class Stats:
+    """A named bag of counters and histograms."""
+
+    def __init__(self, owner=""):
+        self.owner = owner
+        self.counters = {}
+        self.histograms = {}
+
+    def inc(self, name, amount=1):
+        """Increment counter ``name`` by ``amount``."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def get(self, name, default=0):
+        """Read counter ``name``."""
+        return self.counters.get(name, default)
+
+    def observe(self, name, value):
+        """Record ``value`` in histogram ``name``."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = Histogram()
+            self.histograms[name] = hist
+        hist.observe(value)
+
+    def histogram(self, name):
+        """Return histogram ``name`` (empty histogram if never observed)."""
+        return self.histograms.get(name, Histogram())
+
+    def as_dict(self):
+        report = dict(self.counters)
+        for name, hist in self.histograms.items():
+            report[name] = hist.as_dict()
+        return report
+
+    def merge_into(self, other):
+        """Accumulate this object's counters/histograms into ``other``."""
+        for name, value in self.counters.items():
+            other.inc(name, value)
+        for name, hist in self.histograms.items():
+            dest = other.histograms.setdefault(name, Histogram())
+            dest.count += hist.count
+            dest.total += hist.total
+            if hist.min is not None:
+                dest.min = hist.min if dest.min is None else min(dest.min, hist.min)
+            if hist.max is not None:
+                dest.max = hist.max if dest.max is None else max(dest.max, hist.max)
+            for bucket, count in hist.buckets.items():
+                dest.buckets[bucket] = dest.buckets.get(bucket, 0) + count
+
+    def __repr__(self):
+        return f"Stats(owner={self.owner!r}, counters={len(self.counters)})"

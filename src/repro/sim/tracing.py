@@ -1,0 +1,101 @@
+"""Message-level tracing for debugging coherence flows.
+
+Attach a :class:`MessageTracer` to any set of networks and it records
+every message (optionally filtered by block address or endpoint) with its
+send tick — the exact tool used to diagnose protocol races during this
+reproduction's development, promoted to a first-class utility.
+"""
+
+from repro.memory.datablock import block_align
+
+
+class TraceEntry:
+    __slots__ = ("tick", "network", "port", "msg")
+
+    def __init__(self, tick, network, port, msg):
+        self.tick = tick
+        self.network = network
+        self.port = port
+        self.msg = msg
+
+    def __repr__(self):
+        return f"[{self.tick:>8}] {self.network:<6} {self.port:<14} {self.msg}"
+
+
+class MessageTracer:
+    """Records messages crossing the given networks.
+
+    Args:
+        networks: Network objects to wrap.
+        addr_filter: only record messages whose block matches one of
+            these block addresses (None = all).
+        endpoint_filter: only record messages to/from these names.
+        capacity: ring-buffer size (oldest entries dropped).
+    """
+
+    def __init__(self, networks, addr_filter=None, endpoint_filter=None,
+                 capacity=10_000, block_size=64):
+        self.entries = []
+        self.capacity = capacity
+        self.block_size = block_size
+        self.addr_filter = (
+            {block_align(a, block_size) for a in addr_filter}
+            if addr_filter is not None
+            else None
+        )
+        self.endpoint_filter = set(endpoint_filter) if endpoint_filter else None
+        self._originals = []
+        for net in networks:
+            self._wrap(net)
+
+    def _wrap(self, net):
+        original = net.send
+        self._originals.append((net, original))
+
+        def send(msg, port, delay=0, _net=net, _original=original):
+            if self._matches(msg):
+                self._record(_net, port, msg)
+            return _original(msg, port, delay=delay)
+
+        net.send = send
+
+    def _matches(self, msg):
+        if self.addr_filter is not None:
+            if block_align(msg.addr, self.block_size) not in self.addr_filter:
+                return False
+        if self.endpoint_filter is not None:
+            if msg.sender not in self.endpoint_filter and msg.dest not in self.endpoint_filter:
+                return False
+        return True
+
+    def _record(self, net, port, msg):
+        self.entries.append(TraceEntry(net.sim.tick, net.name, port, msg))
+        if len(self.entries) > self.capacity:
+            del self.entries[: len(self.entries) - self.capacity]
+
+    def detach(self):
+        """Restore the wrapped networks' original send methods."""
+        for net, original in self._originals:
+            net.send = original
+        self._originals = []
+
+    # -- queries -------------------------------------------------------------
+
+    def for_block(self, addr):
+        base = block_align(addr, self.block_size)
+        return [
+            e for e in self.entries
+            if block_align(e.msg.addr, self.block_size) == base
+        ]
+
+    def between(self, lo_tick, hi_tick):
+        return [e for e in self.entries if lo_tick <= e.tick <= hi_tick]
+
+    def tail(self, n=20):
+        return self.entries[-n:]
+
+    def format(self, entries=None):
+        return "\n".join(repr(e) for e in (entries if entries is not None else self.entries))
+
+    def __len__(self):
+        return len(self.entries)

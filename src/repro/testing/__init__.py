@@ -1,0 +1,13 @@
+"""Protocol validation harnesses.
+
+* :mod:`repro.testing.random_tester` — the Ruby-random-tester analogue
+  used by the paper's Section 4.1 stress test: rapid loads/stores to a
+  small address pool with data-value checking, random message latencies,
+  and tiny caches so replacements and races are frequent.
+* :mod:`repro.testing.fuzzer` — a byzantine message source aimed at the
+  Crossing Guard accelerator interface for the safety evaluation.
+"""
+
+from repro.testing.random_tester import DataCheckError, RandomTester
+
+__all__ = ["DataCheckError", "RandomTester"]

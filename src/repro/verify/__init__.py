@@ -1,0 +1,21 @@
+"""Exhaustive verification of the Crossing Guard accelerator interface.
+
+The paper stress-tests with a random tester and notes that "an industrial
+implementation of Crossing Guard would likely include formal verification
+to complement stress testing" (Section 4.1), while full-system model
+checking (Murphi) is intractable. This package does what *is* tractable:
+an exhaustive breadth-first exploration of an abstract single-address
+model of the interface — the Table 1 accelerator automaton, the ordered
+accelerator link, and Crossing Guard's per-block transaction rules with a
+nondeterministic host — proving, for every reachable interleaving:
+
+* no unspecified receptions on either side;
+* every accelerator request receives exactly one response;
+* the Put/Invalidate race always resolves;
+* quiescent states agree (XG's mirror matches the accelerator's state);
+* no deadlock (every non-quiescent state can make progress).
+"""
+
+from repro.verify.model import InterfaceModel, VerificationError, explore
+
+__all__ = ["InterfaceModel", "VerificationError", "explore"]

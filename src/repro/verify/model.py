@@ -1,0 +1,332 @@
+"""Single-address exhaustive model of the Crossing Guard interface.
+
+The model captures exactly what crosses the ordered XG<->accelerator link
+for one block address:
+
+* the accelerator is the Table 1 automaton (I/S/E/M + single B), driven
+  by nondeterministic Load/Store/Replacement events;
+* Crossing Guard keeps the paper's per-block transaction state: at most
+  one open accelerator Get, one host-side writeback, or one outstanding
+  probe, plus the Full State mirror;
+* the host is nondeterministic: it may grant any interface-legal data
+  response to a pending Get (DataS/DataE/DataM for GetS; DataE/DataM for
+  GetM), complete a writeback, or probe the block at any legal time.
+
+Every reachable interleaving of these choices is explored breadth-first.
+Verification fails on: an unspecified reception at either agent, a
+response-type inconsistent with the accelerator's actual state (the G2a
+condition that must never fire for a *correct* accelerator), channel
+overflow, a mirror/accelerator mismatch in a quiescent state, or a
+reachable state with no enabled transition that is not quiescent
+(deadlock).
+"""
+
+from collections import deque
+
+# accelerator states
+I, S, E, M, B = "I", "S", "E", "M", "B"
+
+# message kinds
+GETS, GETM, PUTS, PUTE, PUTM = "GetS", "GetM", "PutS", "PutE", "PutM"
+DATAS, DATAE, DATAM, WBACK, INV = "DataS", "DataE", "DataM", "WBAck", "Invalidate"
+INVACK, CLEANWB, DIRTYWB = "InvAck", "CleanWB", "DirtyWB"
+
+_REQUESTS = (GETS, GETM, PUTS, PUTE, PUTM)
+_RESPONSES = (INVACK, CLEANWB, DIRTYWB)
+
+_CHANNEL_BOUND = 4
+
+
+class VerificationError(AssertionError):
+    """The interface model violated one of its guarantees."""
+
+    def __init__(self, message, state, trace=None):
+        self.state = state
+        self.trace = trace or []
+        detail = "\n  ".join(str(step) for step in self.trace[-12:])
+        super().__init__(f"{message}\n  state: {state}\n  trace tail:\n  {detail}")
+
+
+class State:
+    """Immutable, hashable model state."""
+
+    __slots__ = (
+        "accel",
+        "b_reason",  # None | 'get' | 'put' — what the accel's B awaits
+        "a2x",  # tuple: accel -> XG, send order
+        "x2a",  # tuple: XG -> accel, send order
+        "mirror",  # 'I' | 'S' | 'O'
+        "xg_get",  # None | GETS | GETM
+        "xg_put",  # None | 'open' (host-side writeback in flight)
+        "xg_probe",  # None | ('out', expected_wb) | 'race'
+    )
+
+    def __init__(self, accel=I, b_reason=None, a2x=(), x2a=(), mirror="I",
+                 xg_get=None, xg_put=None, xg_probe=None):
+        self.accel = accel
+        self.b_reason = b_reason
+        self.a2x = a2x
+        self.x2a = x2a
+        self.mirror = mirror
+        self.xg_get = xg_get
+        self.xg_put = xg_put
+        self.xg_probe = xg_probe
+
+    def replace(self, **kw):
+        fields = {slot: getattr(self, slot) for slot in self.__slots__}
+        fields.update(kw)
+        return State(**fields)
+
+    def key(self):
+        return (
+            self.accel, self.b_reason, self.a2x, self.x2a,
+            self.mirror, self.xg_get, self.xg_put, self.xg_probe,
+        )
+
+    @property
+    def quiescent(self):
+        return (
+            not self.a2x
+            and not self.x2a
+            and self.xg_get is None
+            and self.xg_put is None
+            and self.xg_probe is None
+            and self.accel is not B
+        )
+
+    def __repr__(self):
+        return (
+            f"State(accel={self.accel}/{self.b_reason}, a2x={list(self.a2x)}, "
+            f"x2a={list(self.x2a)}, mirror={self.mirror}, get={self.xg_get}, "
+            f"put={self.xg_put}, probe={self.xg_probe})"
+        )
+
+
+class InterfaceModel:
+    """Successor function + local checks for the interface model."""
+
+    def __init__(self, allow_probe_when_absent=True):
+        #: Transactional XG forwards probes even for blocks the accel does
+        #: not hold (it cannot know); Full State answers those locally.
+        #: True explores the superset.
+        self.allow_probe_when_absent = allow_probe_when_absent
+
+    # -- accelerator reactions (Table 1) ------------------------------------------
+
+    def _accel_receive(self, state, msg):
+        accel, b_reason = state.accel, state.b_reason
+        if msg in (DATAS, DATAE, DATAM):
+            if accel is not B or b_reason != "get":
+                raise VerificationError(f"accel got {msg} in {accel}/{b_reason}", state)
+            final = {DATAS: S, DATAE: E, DATAM: M}[msg]
+            return state.replace(accel=final, b_reason=None)
+        if msg == WBACK:
+            if accel is not B or b_reason != "put":
+                raise VerificationError(f"accel got WBAck in {accel}/{b_reason}", state)
+            return state.replace(accel=I, b_reason=None)
+        if msg == INV:
+            if accel == M:
+                return state.replace(accel=I, a2x=state.a2x + (DIRTYWB,))
+            if accel == E:
+                return state.replace(accel=I, a2x=state.a2x + (CLEANWB,))
+            if accel == S:
+                return state.replace(accel=I, a2x=state.a2x + (INVACK,))
+            # I and B: ack, no further action (Table 1's B row)
+            return state.replace(a2x=state.a2x + (INVACK,))
+        raise VerificationError(f"accel got unknown message {msg}", state)
+
+    # -- XG reactions ----------------------------------------------------------------
+
+    def _xg_receive_request(self, state, msg):
+        if msg in (GETS, GETM):
+            if state.xg_probe is not None or state.xg_put is not None:
+                return None  # stalled (processed after the transaction closes)
+            if state.xg_get is not None:
+                raise VerificationError("second Get while one is pending (G1b)", state)
+            if state.mirror == "O" or (state.mirror == "S" and msg == GETS):
+                raise VerificationError(
+                    f"correct accel sent {msg} while mirror={state.mirror} (G1a)", state
+                )
+            return state.replace(xg_get=msg)
+        # Puts
+        if state.xg_probe == "race":
+            return None  # wait for the trailing InvAck first
+        if isinstance(state.xg_probe, tuple):  # ('out', expected_wb): the race
+            expected_wb = state.xg_probe[1]
+            got_wb = msg in (PUTE, PUTM)
+            if got_wb != expected_wb:
+                raise VerificationError(
+                    f"racing {msg} inconsistent with mirror (G1a)", state
+                )
+            return state.replace(
+                mirror="I", xg_probe="race", x2a=state.x2a + (WBACK,)
+            )
+        if state.xg_put is not None:
+            return None  # previous writeback still draining toward the host
+        expected = {PUTS: "S", PUTE: "O", PUTM: "O"}[msg]
+        if state.mirror != expected:
+            raise VerificationError(
+                f"correct accel sent {msg} while mirror={state.mirror} (G1a)", state
+            )
+        return state.replace(mirror="I", xg_put="open", x2a=state.x2a + (WBACK,))
+
+    def _xg_receive_response(self, state, msg):
+        if state.xg_probe == "race":
+            if msg != INVACK:
+                raise VerificationError(f"expected trailing InvAck, got {msg}", state)
+            return state.replace(xg_probe=None)
+        if not isinstance(state.xg_probe, tuple):
+            raise VerificationError(f"{msg} with no pending probe (G2b)", state)
+        expected_wb = state.xg_probe[1]
+        got_wb = msg in (CLEANWB, DIRTYWB)
+        if got_wb != expected_wb:
+            raise VerificationError(
+                f"{msg} inconsistent with accel ownership (G2a must not fire "
+                f"for a correct accelerator)", state
+            )
+        return state.replace(mirror="I", xg_probe=None)
+
+    # -- successor enumeration -------------------------------------------------------
+
+    def successors(self, state):
+        """Yield (label, next_state) for every enabled transition."""
+        out = []
+
+        # 1. accelerator CPU events (stable states only)
+        if state.accel == I:
+            out.append(("cpu:Load", state.replace(
+                accel=B, b_reason="get", a2x=state.a2x + (GETS,))))
+            out.append(("cpu:Store", state.replace(
+                accel=B, b_reason="get", a2x=state.a2x + (GETM,))))
+        elif state.accel == S:
+            out.append(("cpu:Store", state.replace(
+                accel=B, b_reason="get", a2x=state.a2x + (GETM,))))
+            out.append(("cpu:Replace", state.replace(
+                accel=B, b_reason="put", a2x=state.a2x + (PUTS,))))
+        elif state.accel == E:
+            out.append(("cpu:Store", state.replace(accel=M)))
+            out.append(("cpu:Replace", state.replace(
+                accel=B, b_reason="put", a2x=state.a2x + (PUTE,))))
+        elif state.accel == M:
+            out.append(("cpu:Replace", state.replace(
+                accel=B, b_reason="put", a2x=state.a2x + (PUTM,))))
+
+        # 2. deliver XG -> accel head (single ordered port at the accel)
+        if state.x2a:
+            msg, rest = state.x2a[0], state.x2a[1:]
+            out.append((f"deliver_accel:{msg}",
+                        self._accel_receive(state.replace(x2a=rest), msg)))
+
+        # 3. deliver accel -> XG. The ordered lane guarantees XG sees
+        # messages in send order; a *stalled* request is set aside (the
+        # stall buffer) so later messages proceed past it, but nothing
+        # else reorders. Model: deliver the first non-stalling message.
+        for index, msg in enumerate(state.a2x):
+            rest = state.a2x[:index] + state.a2x[index + 1:]
+            if msg in _RESPONSES:
+                out.append((f"deliver_xg:{msg}",
+                            self._xg_receive_response(state.replace(a2x=rest), msg)))
+                break
+            nxt = self._xg_receive_request(state.replace(a2x=rest), msg)
+            if nxt is not None:
+                out.append((f"deliver_xg:{msg}", nxt))
+                break
+            # stalled request: step over it, preserving its position
+
+        # 4. host/XG spontaneous choices
+        if state.xg_get == GETS:
+            for grant, mirror in ((DATAS, "S"), (DATAE, "O"), (DATAM, "O")):
+                out.append((f"grant:{grant}", state.replace(
+                    xg_get=None, mirror=mirror, x2a=state.x2a + (grant,))))
+        elif state.xg_get == GETM:
+            for grant in (DATAE, DATAM):
+                out.append((f"grant:{grant}", state.replace(
+                    xg_get=None, mirror="O", x2a=state.x2a + (grant,))))
+        if state.xg_put == "open":
+            out.append(("host:wb_done", state.replace(xg_put=None)))
+        if (
+            state.xg_probe is None
+            and state.xg_get is None
+            and state.xg_put is None
+            and INV not in state.x2a
+            and (state.mirror != "I" or self.allow_probe_when_absent)
+        ):
+            out.append(("host:probe", state.replace(
+                xg_probe=("out", state.mirror == "O"), x2a=state.x2a + (INV,))))
+
+        return out
+
+    # -- state checks --------------------------------------------------------------------
+
+    def check(self, state):
+        if len(state.a2x) > _CHANNEL_BOUND or len(state.x2a) > _CHANNEL_BOUND:
+            raise VerificationError("channel bound exceeded", state)
+        if state.quiescent:
+            expected = {"I": I, "S": S}.get(state.mirror)
+            if state.mirror == "O":
+                if state.accel not in (E, M):
+                    raise VerificationError("mirror=O but accel not owner", state)
+            elif state.accel != expected:
+                raise VerificationError(
+                    f"quiescent mismatch: mirror={state.mirror} accel={state.accel}",
+                    state,
+                )
+
+
+def explore(allow_probe_when_absent=True, max_states=500_000):
+    """BFS the full state space; returns exploration statistics.
+
+    Raises :class:`VerificationError` on any violated guarantee, including
+    a reachable non-quiescent state with no enabled transitions (deadlock).
+    """
+    model = InterfaceModel(allow_probe_when_absent=allow_probe_when_absent)
+    initial = State()
+    seen = {initial.key(): None}
+    parents = {initial.key(): (None, None)}
+    frontier = deque([initial])
+    states = 0
+    transitions = 0
+    deadlocks = 0
+    while frontier:
+        state = frontier.popleft()
+        states += 1
+        if states > max_states:
+            raise VerificationError("state space exceeded max_states", state)
+        model.check(state)
+        try:
+            succs = model.successors(state)
+        except VerificationError as err:
+            err.trace = _trace_to(parents, state.key())
+            raise
+        if not succs and not state.quiescent:
+            raise VerificationError("deadlock", state, _trace_to(parents, state.key()))
+        if not succs:
+            deadlocks += 0
+        for label, nxt in succs:
+            transitions += 1
+            key = nxt.key()
+            if key not in seen:
+                seen[key] = None
+                parents[key] = (state.key(), label)
+                frontier.append(nxt)
+    return {
+        "states": states,
+        "transitions": transitions,
+        "quiescent_states": sum(
+            1 for key in seen if State(*_expand(key)).quiescent
+        ),
+    }
+
+
+def _expand(key):
+    return key
+
+
+def _trace_to(parents, key):
+    trace = []
+    while key is not None:
+        parent, label = parents.get(key, (None, None))
+        if label is not None:
+            trace.append(label)
+        key = parent
+    return list(reversed(trace))

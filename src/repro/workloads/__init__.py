@@ -1,0 +1,23 @@
+"""Synthetic workloads standing in for the paper's gem5-gpu benchmarks."""
+
+from repro.workloads.synthetic import (
+    WorkloadDriver,
+    blocked_decode,
+    graph_walk,
+    run_drivers,
+    shared_pingpong,
+    streaming,
+    write_coalesce,
+    PERF_WORKLOADS,
+)
+
+__all__ = [
+    "PERF_WORKLOADS",
+    "WorkloadDriver",
+    "blocked_decode",
+    "graph_walk",
+    "run_drivers",
+    "shared_pingpong",
+    "streaming",
+    "write_coalesce",
+]

@@ -1,0 +1,217 @@
+"""Synthetic accelerator kernels.
+
+The paper's introduction motivates accelerator-specific access patterns:
+block-based video decoders, data-dependent graph processing, streaming
+with aggressive prefetch, GPU-style write coalescing, and fine-grained
+CPU/accelerator sharing. Each generator below yields an op stream
+``(kind, addr, value)`` with that shape; :class:`WorkloadDriver` replays a
+stream into a sequencer with bounded outstanding requests.
+
+These stand in for the paper's gem5-gpu Rodinia runs: absolute numbers
+differ, but cache-organization effects (hit locality, crossing traffic,
+sharing invalidations) are what the experiments compare, and these
+patterns exercise exactly those.
+"""
+
+import random
+
+LOAD = "load"
+STORE = "store"
+
+
+def streaming(base, num_blocks, block_size=64, write_fraction=0.3, seed=0):
+    """Sequential sweep with little reuse (DMA-like / prefetch-friendly)."""
+    rng = random.Random(seed)
+    value = 1
+    for index in range(num_blocks):
+        addr = base + index * block_size
+        yield (LOAD, addr, None)
+        if rng.random() < write_fraction:
+            yield (STORE, addr + 1, value)
+            value = value % 250 + 1
+
+
+def blocked_decode(base, num_tiles, tile_blocks=4, touches_per_block=6, block_size=64, seed=0):
+    """Tile-at-a-time processing with heavy intra-tile reuse (video decode)."""
+    rng = random.Random(seed)
+    value = 1
+    for tile in range(num_tiles):
+        tile_base = base + tile * tile_blocks * block_size
+        for _ in range(touches_per_block * tile_blocks):
+            block = rng.randrange(tile_blocks)
+            offset = rng.randrange(4)
+            addr = tile_base + block * block_size + offset
+            if rng.random() < 0.4:
+                yield (STORE, addr, value)
+                value = value % 250 + 1
+            else:
+                yield (LOAD, addr, None)
+
+
+def graph_walk(base, footprint_blocks, steps, block_size=64, locality=0.3, seed=0):
+    """Data-dependent pointer chasing over a footprint (graph analytics)."""
+    rng = random.Random(seed)
+    current = 0
+    for _ in range(steps):
+        if rng.random() < locality:
+            current = (current + 1) % footprint_blocks
+        else:
+            current = rng.randrange(footprint_blocks)
+        yield (LOAD, base + current * block_size, None)
+
+
+def write_coalesce(base, num_blocks, writes_per_block=8, block_size=64, seed=0):
+    """GPU-style coalesced stores: bursts of writes to one block."""
+    rng = random.Random(seed)
+    value = 1
+    for index in range(num_blocks):
+        addr = base + index * block_size
+        for write in range(writes_per_block):
+            yield (STORE, addr + (write % 4), value)
+            value = value % 250 + 1
+        if rng.random() < 0.25:
+            yield (LOAD, addr, None)
+
+
+def shared_pingpong(base, shared_blocks, rounds, block_size=64, role="producer", seed=0):
+    """Fine-grained CPU/accelerator sharing over a small block set.
+
+    Producers store, consumers load, over the same blocks — maximal
+    coherence traffic across the crossing (the paper's motivating case
+    for full hardware coherence).
+    """
+    rng = random.Random(seed + (1 if role == "producer" else 2))
+    value = 1
+    for _ in range(rounds):
+        block = rng.randrange(shared_blocks)
+        addr = base + block * block_size
+        if role == "producer":
+            yield (STORE, addr, value)
+            value = value % 250 + 1
+            yield (LOAD, addr + 1, None)
+        else:
+            yield (LOAD, addr, None)
+            if rng.random() < 0.2:
+                yield (STORE, addr + 1, value)
+                value = value % 250 + 1
+
+
+class WorkloadDriver:
+    """Replays an op stream into one sequencer with bounded outstanding."""
+
+    def __init__(self, sim, sequencer, stream, max_outstanding=4, think=0):
+        self.sim = sim
+        self.sequencer = sequencer
+        self.stream = iter(stream)
+        self.max_outstanding = max_outstanding
+        self.think = think
+        self.issued = 0
+        self.completed = 0
+        self.done = False
+        self._in_flight = 0
+
+    def start(self):
+        for _ in range(self.max_outstanding):
+            self._issue_next()
+
+    def _issue_next(self):
+        if self.done:
+            return
+        try:
+            kind, addr, value = next(self.stream)
+        except StopIteration:
+            if self._in_flight == 0:
+                self.done = True
+            return
+        self._in_flight += 1
+        self.issued += 1
+        if kind == STORE:
+            self.sequencer.store(addr, value, self._on_done)
+        else:
+            self.sequencer.load(addr, self._on_done)
+
+    def _on_done(self, msg, data):
+        self.completed += 1
+        self._in_flight -= 1
+        if self.think:
+            self.sim.schedule(self.think, self._issue_next)
+        else:
+            self._issue_next()
+
+    @property
+    def finished(self):
+        return self._in_flight == 0 and self.done
+
+
+def run_drivers(sim, drivers, max_ticks=200_000_000):
+    """Start every driver and run the simulation until traffic drains."""
+    for driver in drivers:
+        driver.start()
+    reason = sim.run(max_ticks=max_ticks)
+    if reason != "idle":
+        raise RuntimeError(f"workload did not drain: {reason}")
+    return sim.tick
+
+
+def PERF_WORKLOADS(accel_base=0x400000, cpu_base=0x800000, scale=1):
+    """The five perf-figure workloads: name -> builder(system) -> drivers.
+
+    Each builder returns the drivers for a built system: accelerator cores
+    run the named kernel; CPUs run a light background mix.
+    """
+
+    def cpu_background(system, seed_offset=0):
+        drivers = []
+        for index, seq in enumerate(system.cpu_seqs):
+            stream = blocked_decode(
+                cpu_base + index * 0x10000, num_tiles=6 * scale, seed=index + seed_offset
+            )
+            drivers.append(WorkloadDriver(system.sim, seq, stream, max_outstanding=2))
+        return drivers
+
+    def make(name, accel_stream_fn):
+        def build(system):
+            drivers = cpu_background(system)
+            for index, seq in enumerate(system.accel_seqs):
+                drivers.append(
+                    WorkloadDriver(
+                        system.sim, seq, accel_stream_fn(index), max_outstanding=4
+                    )
+                )
+            return drivers
+
+        build.__name__ = name
+        return build
+
+    workloads = {
+        "streaming": make(
+            "streaming",
+            lambda i: streaming(accel_base + i * 0x40000, 160 * scale, seed=i),
+        ),
+        "blocked_decode": make(
+            "blocked_decode",
+            lambda i: blocked_decode(accel_base + i * 0x40000, 24 * scale, seed=i),
+        ),
+        "graph_walk": make(
+            "graph_walk",
+            lambda i: graph_walk(accel_base, 64, 280 * scale, seed=i),
+        ),
+        "write_coalesce": make(
+            "write_coalesce",
+            lambda i: write_coalesce(accel_base + i * 0x40000, 48 * scale, seed=i),
+        ),
+    }
+
+    def pingpong_build(system):
+        drivers = []
+        for index, seq in enumerate(system.cpu_seqs):
+            stream = shared_pingpong(accel_base, 8, 120 * scale, role="producer", seed=index)
+            drivers.append(WorkloadDriver(system.sim, seq, stream, max_outstanding=2))
+        for index, seq in enumerate(system.accel_seqs):
+            stream = shared_pingpong(accel_base, 8, 120 * scale, role="consumer", seed=index)
+            drivers.append(WorkloadDriver(system.sim, seq, stream, max_outstanding=2))
+        return drivers
+
+    pingpong_build.__name__ = "shared_pingpong"
+    workloads["shared_pingpong"] = pingpong_build
+    return workloads

@@ -1,0 +1,138 @@
+"""Trace-driven workloads: record real op streams, replay them anywhere.
+
+Lets a workload captured on one configuration (say, the unsafe
+accelerator-side baseline) be replayed bit-identically on another (say,
+Transactional XG) for apples-to-apples comparison, or saved to JSONL for
+later runs.
+
+Timing is not replayed — the replay preserves per-agent program order and
+lets the target system's latencies determine pacing, which is what a
+cache-organization comparison wants.
+"""
+
+import json
+
+from repro.workloads.synthetic import LOAD, STORE, WorkloadDriver
+
+
+class TraceOp:
+    __slots__ = ("agent", "kind", "addr", "value")
+
+    def __init__(self, agent, kind, addr, value=None):
+        self.agent = agent
+        self.kind = kind
+        self.addr = addr
+        self.value = value
+
+    def as_dict(self):
+        return {"agent": self.agent, "kind": self.kind, "addr": self.addr, "value": self.value}
+
+    @classmethod
+    def from_dict(cls, raw):
+        return cls(raw["agent"], raw["kind"], raw["addr"], raw.get("value"))
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, TraceOp)
+            and (self.agent, self.kind, self.addr, self.value)
+            == (other.agent, other.kind, other.addr, other.value)
+        )
+
+    def __repr__(self):
+        val = f", {self.value}" if self.kind == STORE else ""
+        return f"TraceOp({self.agent}, {self.kind}, {self.addr:#x}{val})"
+
+
+class TraceRecorder:
+    """Hooks a set of sequencers and records every issued op in order."""
+
+    def __init__(self, sequencers):
+        self.ops = []
+        self._hooked = []
+        for sequencer in sequencers:
+            self._hook(sequencer)
+
+    def _hook(self, sequencer):
+        original = sequencer._issue
+        self._hooked.append((sequencer, original))
+
+        def issue(op, addr, value, callback, _name=sequencer.name, _original=original):
+            from repro.protocols.common import CpuOp
+
+            kind = STORE if op is CpuOp.Store else LOAD
+            self.ops.append(TraceOp(_name, kind, addr, value))
+            return _original(op, addr, value, callback)
+
+        sequencer._issue = issue
+
+    def detach(self):
+        for sequencer, original in self._hooked:
+            sequencer._issue = original
+        self._hooked = []
+
+    def save(self, path):
+        save_trace(self.ops, path)
+
+    def __len__(self):
+        return len(self.ops)
+
+
+def save_trace(ops, path):
+    """Write a trace as JSON lines."""
+    with open(path, "w") as fh:
+        for op in ops:
+            fh.write(json.dumps(op.as_dict()) + "\n")
+
+
+def load_trace(path):
+    """Read a JSONL trace."""
+    ops = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                ops.append(TraceOp.from_dict(json.loads(line)))
+    return ops
+
+
+def split_by_agent(ops):
+    """Group a trace into per-agent op streams, preserving program order."""
+    streams = {}
+    for op in ops:
+        streams.setdefault(op.agent, []).append((op.kind, op.addr, op.value))
+    return streams
+
+
+def replay_drivers(system, ops, agent_map=None, max_outstanding=4):
+    """Build WorkloadDrivers replaying ``ops`` on ``system``.
+
+    ``agent_map`` renames trace agents onto the target system's sequencer
+    names (identity by default). Agents without a mapping are assigned
+    round-robin over the same class (cpu.* to CPU sequencers, everything
+    else to accelerator sequencers).
+    """
+    streams = split_by_agent(ops)
+    by_name = {seq.name: seq for seq in system.sequencers}
+    cpu_seqs = list(system.cpu_seqs)
+    accel_seqs = list(system.accel_seqs)
+    cpu_index = 0
+    accel_index = 0
+    drivers = []
+    for agent, stream in streams.items():
+        target = None
+        if agent_map and agent in agent_map:
+            target = by_name[agent_map[agent]]
+        elif agent in by_name:
+            target = by_name[agent]
+        elif agent.startswith("cpu") and cpu_seqs:
+            target = cpu_seqs[cpu_index % len(cpu_seqs)]
+            cpu_index += 1
+        elif accel_seqs:
+            target = accel_seqs[accel_index % len(accel_seqs)]
+            accel_index += 1
+        else:
+            raise ValueError(f"no sequencer for trace agent {agent!r}")
+        drivers.append(
+            WorkloadDriver(system.sim, target, iter(stream), max_outstanding=max_outstanding)
+        )
+    return drivers

@@ -1,0 +1,42 @@
+"""Crossing Guard — the paper's contribution.
+
+Trusted host hardware mediating all coherence interactions between the
+host protocol and an accelerator cache hierarchy:
+
+* :mod:`repro.xg.interface` — the standardized accelerator coherence
+  interface (5 requests, 4 responses; 1 host request, 3 responses);
+* :mod:`repro.xg.errors` — the OS-visible error log for guarantee
+  violations (G0-G2c);
+* :mod:`repro.xg.permissions` — Border-Control-style page permissions;
+* :mod:`repro.xg.rate_limiter` — DoS request throttling (Section 2.5);
+* :mod:`repro.xg.block_translator` — accel/host block-size translation
+  (Section 2.5);
+* :mod:`repro.xg.base` plus :mod:`repro.xg.mesi_xg` /
+  :mod:`repro.xg.hammer_xg` — the Crossing Guard controllers, each
+  supporting both the Full State and Transactional variants
+  (Section 2.3).
+"""
+
+from repro.xg.interface import AccelMsg, XGVariant
+from repro.xg.errors import Guarantee, XGError, XGErrorLog
+from repro.xg.permissions import PagePermission, PermissionTable
+from repro.xg.rate_limiter import RateLimiter
+from repro.xg.block_translator import BlockTranslator
+from repro.xg.mesi_xg import MesiCrossingGuard
+from repro.xg.mesif_xg import MesifCrossingGuard
+from repro.xg.hammer_xg import HammerCrossingGuard
+
+__all__ = [
+    "AccelMsg",
+    "BlockTranslator",
+    "Guarantee",
+    "HammerCrossingGuard",
+    "MesiCrossingGuard",
+    "MesifCrossingGuard",
+    "PagePermission",
+    "PermissionTable",
+    "RateLimiter",
+    "XGError",
+    "XGErrorLog",
+    "XGVariant",
+]

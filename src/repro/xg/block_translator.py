@@ -1,0 +1,69 @@
+"""Coherence block-size translation (paper Section 2.5).
+
+When the accelerator uses a *larger* block than the host, Crossing Guard
+requests all component host blocks on an accelerator Get, merges them
+into one accelerator block once they all arrive, and splits accelerator
+writebacks back into host blocks. (The paper argues accelerators are
+unlikely to use blocks smaller than the host's 64B, so only the
+larger-or-equal direction is supported; equal sizes pass through.)
+"""
+
+from repro.memory.datablock import DataBlock
+
+
+class BlockTranslator:
+    """Maps between one accelerator block and N host blocks."""
+
+    def __init__(self, host_block_size=64, accel_block_size=64):
+        if accel_block_size % host_block_size:
+            raise ValueError(
+                "accelerator block size must be a multiple of the host block size"
+            )
+        if accel_block_size < host_block_size:
+            raise ValueError("accelerator blocks smaller than host blocks are unsupported")
+        self.host_block_size = host_block_size
+        self.accel_block_size = accel_block_size
+        self.ratio = accel_block_size // host_block_size
+
+    @property
+    def is_identity(self):
+        return self.ratio == 1
+
+    def accel_align(self, addr):
+        return addr - (addr % self.accel_block_size)
+
+    def host_align(self, addr):
+        return addr - (addr % self.host_block_size)
+
+    def host_blocks_for(self, accel_addr):
+        """Host block base addresses composing the accel block at ``accel_addr``."""
+        base = self.accel_align(accel_addr)
+        return [base + i * self.host_block_size for i in range(self.ratio)]
+
+    def merge(self, accel_addr, host_blocks):
+        """Merge {host_addr: DataBlock} into one accelerator DataBlock."""
+        base = self.accel_align(accel_addr)
+        merged = DataBlock(self.accel_block_size)
+        for host_addr, block in host_blocks.items():
+            offset = host_addr - base
+            if offset < 0 or offset + self.host_block_size > self.accel_block_size:
+                raise ValueError(f"host block {host_addr:#x} outside accel block {base:#x}")
+            merged.write_bytes(offset, block.to_bytes())
+        return merged
+
+    def split(self, accel_addr, accel_block):
+        """Split an accelerator DataBlock into {host_addr: DataBlock}."""
+        if accel_block.size != self.accel_block_size:
+            raise ValueError("accel block has wrong size")
+        base = self.accel_align(accel_addr)
+        out = {}
+        for index in range(self.ratio):
+            start = index * self.host_block_size
+            piece = DataBlock.from_bytes(
+                accel_block.read_bytes(start, self.host_block_size)
+            )
+            out[base + start] = piece
+        return out
+
+    def __repr__(self):
+        return f"BlockTranslator(host={self.host_block_size}, accel={self.accel_block_size})"

@@ -1,0 +1,82 @@
+"""OS-visible error reporting for Crossing Guard.
+
+When a guarantee is violated Crossing Guard never disturbs the host
+protocol; it blocks/corrects the offending message and appends a
+machine-readable error record here. The OS policy hook models the
+recovery actions the paper lists (terminate the accelerator process,
+disable the accelerator, alert the user).
+"""
+
+import enum
+
+
+class Guarantee(enum.Enum):
+    """The guarantees of Figure 1."""
+
+    G0A_READ_PERMISSION = enum.auto()  # request without page access
+    G0B_WRITE_PERMISSION = enum.auto()  # exclusive request/data without write perm
+    G1A_STABLE_REQUEST = enum.auto()  # request inconsistent with stable state
+    G1B_TRANSIENT_REQUEST = enum.auto()  # request while one is already pending
+    G2A_STABLE_RESPONSE = enum.auto()  # response inconsistent with stable state
+    G2B_TRANSIENT_RESPONSE = enum.auto()  # response with no pending request
+    G2C_TIMEOUT = enum.auto()  # no response within the timeout
+
+
+class XGError:
+    """One recorded guarantee violation."""
+
+    __slots__ = ("tick", "guarantee", "addr", "description", "accel")
+
+    def __init__(self, tick, guarantee, addr, description, accel=""):
+        self.tick = tick
+        self.guarantee = guarantee
+        self.addr = addr
+        self.description = description
+        self.accel = accel
+
+    def __repr__(self):
+        return (
+            f"XGError(t={self.tick}, {self.guarantee.name}, addr={self.addr:#x}, "
+            f"{self.description!r})"
+        )
+
+
+class XGErrorLog:
+    """The OS's view of accelerator misbehavior.
+
+    ``disable_after`` models an OS policy that disables the accelerator
+    (further requests dropped at the Crossing Guard) once the error count
+    crosses a threshold; None leaves the accelerator enabled forever.
+    """
+
+    def __init__(self, disable_after=None):
+        self.errors = []
+        self.disable_after = disable_after
+        self.accel_disabled = False
+
+    def report(self, tick, guarantee, addr, description, accel=""):
+        error = XGError(tick, guarantee, addr, description, accel=accel)
+        self.errors.append(error)
+        if self.disable_after is not None and len(self.errors) >= self.disable_after:
+            self.accel_disabled = True
+        return error
+
+    def count(self, guarantee=None):
+        if guarantee is None:
+            return len(self.errors)
+        return sum(1 for error in self.errors if error.guarantee is guarantee)
+
+    def by_guarantee(self):
+        counts = {}
+        for error in self.errors:
+            counts[error.guarantee] = counts.get(error.guarantee, 0) + 1
+        return counts
+
+    def __len__(self):
+        return len(self.errors)
+
+    def __iter__(self):
+        return iter(self.errors)
+
+    def __repr__(self):
+        return f"XGErrorLog(errors={len(self.errors)}, disabled={self.accel_disabled})"

@@ -1,0 +1,67 @@
+"""Accelerator request rate limiting (paper Section 2.5).
+
+A misbehaving accelerator can mount a denial-of-service attack with
+*legitimate* messages at a very high rate, consuming host bandwidth and
+directory entries. Crossing Guard throttles accelerator *requests* with a
+token bucket (responses are never delayed). The OS sets the rate through
+a register, so correct accelerators can be given more headroom when the
+host is idle.
+"""
+
+
+class RateLimiter:
+    """Token bucket: ``rate`` requests per ``period`` ticks, burst ``burst``.
+
+    ``acquire(now)`` returns 0 when a token is available (and consumes it)
+    or the number of ticks to wait before retrying.
+    """
+
+    def __init__(self, rate=None, period=100, burst=None):
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive (or None for unlimited)")
+        self.rate = rate
+        self.period = period
+        self.burst = burst if burst is not None else (rate if rate else 0)
+        self._tokens = float(self.burst)
+        self._last_refill = 0
+        self.throttled = 0
+        self.admitted = 0
+
+    @property
+    def unlimited(self):
+        return self.rate is None
+
+    def _refill(self, now):
+        if now <= self._last_refill:
+            return
+        elapsed = now - self._last_refill
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate / self.period)
+        self._last_refill = now
+
+    def acquire(self, now):
+        """Try to admit a request at tick ``now``; returns delay (0 = go)."""
+        if self.unlimited:
+            self.admitted += 1
+            return 0
+        self._refill(now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            self.admitted += 1
+            return 0
+        self.throttled += 1
+        deficit = 1.0 - self._tokens
+        wait = int(deficit * self.period / self.rate) + 1
+        return wait
+
+    def set_rate(self, rate, period=None, burst=None):
+        """OS register write: change the allowed request rate."""
+        self.rate = rate
+        if period is not None:
+            self.period = period
+        self.burst = burst if burst is not None else (rate if rate else 0)
+        self._tokens = min(self._tokens, float(self.burst))
+
+    def __repr__(self):
+        if self.unlimited:
+            return "RateLimiter(unlimited)"
+        return f"RateLimiter({self.rate}/{self.period} ticks, burst={self.burst})"

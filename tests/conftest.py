@@ -1,0 +1,15 @@
+"""Pytest fixtures built on tests.helpers."""
+
+import pytest
+
+from tests.helpers import HammerHost, MesiHost, RawAgent  # noqa: F401
+
+
+@pytest.fixture
+def mesi_host():
+    return MesiHost()
+
+
+@pytest.fixture
+def hammer_host():
+    return HammerHost()

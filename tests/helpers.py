@@ -1,0 +1,117 @@
+"""Shared test helpers: mini system builders and a raw message agent."""
+
+from repro.host.cpu import Sequencer
+from repro.memory.main_memory import MainMemory
+from repro.protocols.hammer.cache import HammerCache
+from repro.protocols.hammer.directory import HammerDirectory
+from repro.protocols.mesi.l1 import MesiL1
+from repro.protocols.mesi.l2 import MesiL2
+from repro.sim.component import Component
+from repro.sim.message import Message
+from repro.sim.network import FixedLatency, Network
+from repro.sim.simulator import Simulator
+
+
+class RawAgent(Component):
+    """Records every delivery; can inject arbitrary protocol messages.
+
+    Appears on the network under any name, with every port name protocols
+    use — ideal for black-box driving a directory, an L2, or Crossing
+    Guard with scripted sequences.
+    """
+
+    PORTS = ("response", "forward", "fromxg", "accel_response", "accel_request", "request")
+    watchdog_exempt = True
+
+    def __init__(self, sim, name, net):
+        super().__init__(sim, name)
+        self.net = net
+        self.received = []
+        net.attach(self)
+
+    def wakeup(self):
+        for port in self.PORTS:
+            while True:
+                msg = self.in_ports[port].pop(self.sim.tick)
+                if msg is None:
+                    break
+                self.received.append((self.sim.tick, port, msg))
+
+    def send(self, mtype, addr, dest, port, **kw):
+        msg = Message(mtype, addr, sender=self.name, dest=dest, **kw)
+        self.net.send(msg, port)
+        return msg
+
+    def of_type(self, mtype):
+        return [msg for _t, _p, msg in self.received if msg.mtype is mtype]
+
+    def last(self):
+        return self.received[-1][2] if self.received else None
+
+
+class MesiHost:
+    """A tiny MESI host: N L1s + sequencers, shared L2, memory."""
+
+    def __init__(self, n_cpus=2, l1_sets=4, l1_assoc=2, l2_sets=8, l2_assoc=4, seed=0,
+                 xg_tolerant=False, mem_latency=10):
+        self.sim = Simulator(seed=seed, deadlock_threshold=500_000)
+        self.net = Network(self.sim, FixedLatency(1), name="host")
+        self.memory = MainMemory(latency=mem_latency)
+        self.l2 = MesiL2(
+            self.sim, "l2", self.net, self.memory,
+            num_sets=l2_sets, assoc=l2_assoc, xg_tolerant=xg_tolerant,
+        )
+        self.net.attach(self.l2)
+        self.l1s = []
+        self.seqs = []
+        for i in range(n_cpus):
+            l1 = MesiL1(self.sim, f"l1.{i}", self.net, "l2", num_sets=l1_sets, assoc=l1_assoc)
+            self.net.attach(l1)
+            seq = Sequencer(self.sim, f"cpu.{i}")
+            seq.attach(l1)
+            self.l1s.append(l1)
+            self.seqs.append(seq)
+
+    def load(self, cpu, addr):
+        out = {}
+        self.seqs[cpu].load(addr, lambda m, d: out.update(data=d))
+        self.sim.run()
+        return out["data"]
+
+    def store(self, cpu, addr, value):
+        self.seqs[cpu].store(addr, value)
+        self.sim.run()
+
+
+class HammerHost:
+    """A tiny Hammer host: N caches + sequencers, directory, memory."""
+
+    def __init__(self, n_cpus=2, sets=4, assoc=2, seed=0, xg_tolerant=False, mem_latency=10):
+        self.sim = Simulator(seed=seed, deadlock_threshold=500_000)
+        self.net = Network(self.sim, FixedLatency(1), name="host")
+        self.memory = MainMemory(latency=mem_latency)
+        names = [f"cache.{i}" for i in range(n_cpus)]
+        self.directory = HammerDirectory(self.sim, "dir", self.net, self.memory, cache_names=names)
+        self.net.attach(self.directory)
+        self.caches = []
+        self.seqs = []
+        for i in range(n_cpus):
+            cache = HammerCache(
+                self.sim, names[i], self.net, "dir", n_peers=n_cpus - 1,
+                num_sets=sets, assoc=assoc, xg_tolerant=xg_tolerant,
+            )
+            self.net.attach(cache)
+            seq = Sequencer(self.sim, f"cpu.{i}")
+            seq.attach(cache)
+            self.caches.append(cache)
+            self.seqs.append(seq)
+
+    def load(self, cpu, addr):
+        out = {}
+        self.seqs[cpu].load(addr, lambda m, d: out.update(data=d))
+        self.sim.run()
+        return out["data"]
+
+    def store(self, cpu, addr, value):
+        self.seqs[cpu].store(addr, value)
+        self.sim.run()

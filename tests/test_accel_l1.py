@@ -1,0 +1,208 @@
+"""Unit tests for the Table 1 accelerator L1 — cell by cell."""
+
+import pytest
+
+from repro.accel.l1_single import AL1State, AccelL1, AccelL1Mode
+from repro.host.cpu import Sequencer
+from repro.sim.message import Message
+from repro.sim.network import FixedLatency, Network
+from repro.sim.simulator import Simulator
+from repro.xg.interface import AccelMsg
+
+from tests.helpers import RawAgent
+
+
+def _build(mode=AccelL1Mode.MESI, sets=4, assoc=2):
+    sim = Simulator(seed=0, deadlock_threshold=100_000)
+    net = Network(sim, FixedLatency(1), ordered=True, name="accel")
+    xg = RawAgent(sim, "xg", net)
+    l1 = AccelL1(sim, "l1", net, "xg", num_sets=sets, assoc=assoc, mode=mode)
+    net.attach(l1)
+    seq = Sequencer(sim, "core")
+    seq.attach(l1)
+    return sim, net, xg, l1, seq
+
+
+def _reply(xg, mtype, addr, **kw):
+    xg.send(mtype, addr, "l1", "fromxg", **kw)
+
+
+def _data(value=0):
+    from repro.memory.datablock import DataBlock
+
+    block = DataBlock()
+    block.write_byte(0, value)
+    return block
+
+
+def test_i_load_issues_gets_and_enters_b(sim_ok=None):
+    sim, net, xg, l1, seq = _build()
+    seq.load(0x1000)
+    sim.run(final_check=False)
+    assert xg.of_type(AccelMsg.GetS), "Load in I must issue GetS"
+    assert l1.block_state(0x1000) is AL1State.B
+
+
+def test_i_store_issues_getm():
+    sim, net, xg, l1, seq = _build()
+    seq.store(0x1000, 5)
+    sim.run(final_check=False)
+    assert xg.of_type(AccelMsg.GetM)
+    assert l1.block_state(0x1000) is AL1State.B
+
+
+def test_data_responses_set_final_state():
+    for mtype, state in (
+        (AccelMsg.DataS, AL1State.S),
+        (AccelMsg.DataE, AL1State.E),
+        (AccelMsg.DataM, AL1State.M),
+    ):
+        sim, net, xg, l1, seq = _build()
+        done = []
+        seq.load(0x1000, lambda m, d: done.append(d.read_byte(0)))
+        sim.run(final_check=False)
+        _reply(xg, mtype, 0x1000, data=_data(42))
+        sim.run()
+        assert l1.block_state(0x1000) is state
+        assert done == [42]
+
+
+def test_s_store_upgrades_via_getm():
+    sim, net, xg, l1, seq = _build()
+    seq.load(0x1000)
+    sim.run(final_check=False)
+    _reply(xg, AccelMsg.DataS, 0x1000, data=_data())
+    sim.run()
+    assert l1.block_state(0x1000) is AL1State.S
+    seq.store(0x1000, 9)
+    sim.run(final_check=False)
+    assert xg.of_type(AccelMsg.GetM)
+    _reply(xg, AccelMsg.DataM, 0x1000, data=_data())
+    sim.run()
+    assert l1.block_state(0x1000) is AL1State.M
+    assert l1.cache.lookup(0x1000).data.read_byte(0) == 9
+
+
+def test_e_store_silent_upgrade_no_message():
+    sim, net, xg, l1, seq = _build()
+    seq.load(0x1000)
+    sim.run(final_check=False)
+    _reply(xg, AccelMsg.DataE, 0x1000, data=_data())
+    sim.run()
+    sent_before = len(xg.received)
+    seq.store(0x1000, 7)
+    sim.run()
+    assert l1.block_state(0x1000) is AL1State.M
+    assert len(xg.received) == sent_before, "E->M upgrade must be silent"
+
+
+def _fill_block(sim, net, xg, l1, seq, addr, grant, value=1):
+    seq.load(addr)
+    sim.run(final_check=False)
+    _reply(xg, grant, addr, data=_data(value))
+    sim.run()
+
+
+def test_replacements_send_correct_put_types():
+    # 1-set/1-way cache: the second fill evicts the first.
+    cases = [
+        (AccelMsg.DataS, AccelMsg.PutS, False),
+        (AccelMsg.DataE, AccelMsg.PutE, True),
+        (AccelMsg.DataM, AccelMsg.PutM, True),
+    ]
+    for grant, put, carries_data in cases:
+        sim, net, xg, l1, seq = _build(sets=1, assoc=1)
+        _fill_block(sim, net, xg, l1, seq, 0x1000, grant, value=3)
+        seq.load(0x2000)  # forces the eviction
+        sim.run(final_check=False)
+        puts = xg.of_type(put)
+        assert puts, f"expected {put}"
+        assert (puts[0].data is not None) == carries_data
+        assert l1.block_state(0x1000) is AL1State.B
+        _reply(xg, AccelMsg.WBAck, 0x1000)
+        sim.run(final_check=False)
+        assert l1.block_state(0x1000) is AL1State.I
+
+
+def test_invalidate_responses_per_state():
+    # M -> DirtyWB; E -> CleanWB; S -> InvAck; I -> InvAck.
+    for grant, response in (
+        (AccelMsg.DataM, AccelMsg.DirtyWB),
+        (AccelMsg.DataE, AccelMsg.CleanWB),
+        (AccelMsg.DataS, AccelMsg.InvAck),
+    ):
+        sim, net, xg, l1, seq = _build()
+        _fill_block(sim, net, xg, l1, seq, 0x1000, grant, value=8)
+        _reply(xg, AccelMsg.Invalidate, 0x1000)
+        sim.run()
+        answers = xg.of_type(response)
+        assert answers, f"{grant} -> Invalidate must answer {response}"
+        if response is not AccelMsg.InvAck:
+            assert answers[0].data.read_byte(0) == 8
+        assert l1.block_state(0x1000) is AL1State.I
+
+
+def test_invalidate_in_i_still_acks():
+    sim, net, xg, l1, seq = _build()
+    _reply(xg, AccelMsg.Invalidate, 0x1000)
+    sim.run()
+    assert xg.of_type(AccelMsg.InvAck)
+
+
+def test_invalidate_in_b_acks_and_stays_b():
+    """Table 1's key rule: B + Invalidate -> InvAck, remain in B."""
+    sim, net, xg, l1, seq = _build()
+    seq.load(0x1000)
+    sim.run(final_check=False)
+    _reply(xg, AccelMsg.Invalidate, 0x1000)
+    sim.run(final_check=False)
+    assert xg.of_type(AccelMsg.InvAck)
+    assert l1.block_state(0x1000) is AL1State.B
+    _reply(xg, AccelMsg.DataS, 0x1000, data=_data())
+    sim.run()
+    assert l1.block_state(0x1000) is AL1State.S
+
+
+def test_loads_stall_while_b():
+    sim, net, xg, l1, seq = _build()
+    first = []
+    second = []
+    seq.load(0x1000, lambda m, d: first.append(1))
+    seq.load(0x1000, lambda m, d: second.append(1))
+    sim.run(final_check=False)
+    assert not first and not second
+    assert len(xg.of_type(AccelMsg.GetS)) == 1, "second load must not re-request"
+    _reply(xg, AccelMsg.DataS, 0x1000, data=_data())
+    sim.run()
+    assert first and second
+
+
+def test_vi_mode_only_sends_getm_and_putm():
+    sim, net, xg, l1, seq = _build(mode=AccelL1Mode.VI, sets=1, assoc=1)
+    seq.load(0x1000)
+    sim.run(final_check=False)
+    assert xg.of_type(AccelMsg.GetM) and not xg.of_type(AccelMsg.GetS)
+    _reply(xg, AccelMsg.DataM, 0x1000, data=_data())
+    sim.run()
+    seq.load(0x2000)  # evicts
+    sim.run(final_check=False)
+    assert xg.of_type(AccelMsg.PutM) and not xg.of_type(AccelMsg.PutE)
+
+
+def test_msi_mode_treats_datae_as_datam():
+    """Paper: 'An MSI design is possible by treating DataE as DataM (and
+    sending only Dirty Writebacks).'"""
+    sim, net, xg, l1, seq = _build(mode=AccelL1Mode.MSI)
+    _fill_block(sim, net, xg, l1, seq, 0x1000, AccelMsg.DataE)
+    assert l1.block_state(0x1000) is AL1State.M
+    _reply(xg, AccelMsg.Invalidate, 0x1000)
+    sim.run()
+    assert xg.of_type(AccelMsg.DirtyWB) and not xg.of_type(AccelMsg.CleanWB)
+
+
+def test_single_transient_state_only():
+    """The whole point of Table 1: exactly one transient state."""
+    sim, net, xg, l1, seq = _build()
+    states = {state for (state, _event) in l1.transitions}
+    transient = states - {AL1State.I, AL1State.S, AL1State.E, AL1State.M}
+    assert transient == {AL1State.B}

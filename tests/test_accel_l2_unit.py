@@ -1,0 +1,161 @@
+"""Directed unit tests for the shared accelerator L2 (two-level design).
+
+Real Table-1 L1s sit below; a RawAgent plays Crossing Guard above, so
+the L2's upward interface discipline (Table 1 at L2 granularity, the
+Put/Invalidate race, busy-state InvAcks) is observable message by
+message.
+"""
+
+import pytest
+
+from repro.accel.l1_single import AL1State, AccelL1
+from repro.accel.two_level import AL2State, AccelL2Shared
+from repro.host.cpu import Sequencer
+from repro.memory.datablock import DataBlock
+from repro.sim.network import FixedLatency, Network
+from repro.sim.simulator import Simulator
+from repro.xg.interface import AccelMsg
+
+from tests.helpers import RawAgent
+
+ADDR = 0x7000
+
+
+def _build(n_l1=2, l2_sets=4, l2_assoc=2):
+    sim = Simulator(seed=0, deadlock_threshold=200_000)
+    net = Network(sim, FixedLatency(1), ordered=True, name="accel")
+    xg = RawAgent(sim, "xg", net)
+    l2 = AccelL2Shared(sim, "al2", net, net, "xg", num_sets=l2_sets, assoc=l2_assoc)
+    net.attach(l2)
+    l1s = []
+    seqs = []
+    for i in range(n_l1):
+        l1 = AccelL1(sim, f"al1.{i}", net, "al2", num_sets=4, assoc=2)
+        net.attach(l1)
+        seq = Sequencer(sim, f"core.{i}")
+        seq.attach(l1)
+        l1s.append(l1)
+        seqs.append(seq)
+    return sim, xg, l2, l1s, seqs
+
+
+def _block(value=0):
+    data = DataBlock()
+    data.write_byte(0, value)
+    return data
+
+
+def _go(sim):
+    sim.run(max_ticks=sim.tick + 200, final_check=False)
+
+
+def test_miss_goes_up_once_and_grants_locally_after():
+    sim, xg, l2, l1s, seqs = _build()
+    seqs[0].load(ADDR)
+    _go(sim)
+    assert len(xg.of_type(AccelMsg.GetS)) == 1
+    xg.send(AccelMsg.DataE, ADDR, "al2", "fromxg", data=_block(4))
+    _go(sim)
+    assert l1s[0].block_state(ADDR) in (AL1State.E, AL1State.M)
+    # second core's load is served L1-to-L1 via the L2: no new XG traffic
+    before = len(xg.received)
+    out = []
+    seqs[1].load(ADDR, lambda m, d: out.append(d.read_byte(0)))
+    _go(sim)
+    assert out == [4]
+    assert len(xg.received) == before
+
+
+def test_xg_invalidate_collects_all_l1_copies():
+    sim, xg, l2, l1s, seqs = _build()
+    seqs[0].store(ADDR, 5)
+    _go(sim)
+    xg.send(AccelMsg.DataM, ADDR, "al2", "fromxg", data=_block(), dirty=True)
+    _go(sim)
+    assert l1s[0].block_state(ADDR) is AL1State.M
+    xg.send(AccelMsg.Invalidate, ADDR, "al2", "fromxg")
+    _go(sim)
+    wbs = xg.of_type(AccelMsg.DirtyWB)
+    assert wbs and wbs[0].data.read_byte(0) == 5
+    assert l1s[0].block_state(ADDR) is AL1State.I
+    assert l2._state(ADDR) is AL2State.NP
+
+
+def test_xg_invalidate_shared_only_acks():
+    sim, xg, l2, l1s, seqs = _build()
+    seqs[0].load(ADDR)
+    _go(sim)
+    xg.send(AccelMsg.DataS, ADDR, "al2", "fromxg", data=_block())
+    _go(sim)
+    xg.send(AccelMsg.Invalidate, ADDR, "al2", "fromxg")
+    _go(sim)
+    assert xg.of_type(AccelMsg.InvAck)
+    assert not xg.of_type(AccelMsg.CleanWB) and not xg.of_type(AccelMsg.DirtyWB)
+
+
+def test_invalidate_for_absent_block_acks():
+    sim, xg, l2, l1s, seqs = _build()
+    xg.send(AccelMsg.Invalidate, ADDR, "al2", "fromxg")
+    _go(sim)
+    assert xg.of_type(AccelMsg.InvAck)
+
+
+def test_l1_migration_with_writeback():
+    sim, xg, l2, l1s, seqs = _build()
+    seqs[0].store(ADDR, 11)
+    _go(sim)
+    xg.send(AccelMsg.DataM, ADDR, "al2", "fromxg", data=_block(), dirty=True)
+    _go(sim)
+    out = []
+    seqs[1].load(ADDR, lambda m, d: out.append(d.read_byte(0)))
+    _go(sim)
+    assert out == [11], "owner recalled, data migrated through the L2"
+    assert l1s[0].block_state(ADDR) is AL1State.I
+
+
+def test_upgrade_through_xg_when_only_shared():
+    sim, xg, l2, l1s, seqs = _build()
+    seqs[0].load(ADDR)
+    _go(sim)
+    xg.send(AccelMsg.DataS, ADDR, "al2", "fromxg", data=_block(1))
+    _go(sim)
+    done = []
+    seqs[0].store(ADDR, 2, lambda m, d: done.append(d.read_byte(0)))
+    _go(sim)
+    # the L2 only holds S from XG: must upgrade upward
+    assert xg.of_type(AccelMsg.GetM)
+    xg.send(AccelMsg.DataM, ADDR, "al2", "fromxg", data=_block(1), dirty=True)
+    _go(sim)
+    assert done == [2]
+
+
+def test_eviction_writes_back_upward():
+    sim, xg, l2, l1s, seqs = _build(l2_sets=1, l2_assoc=1)
+    seqs[0].store(ADDR, 3)
+    _go(sim)
+    xg.send(AccelMsg.DataM, ADDR, "al2", "fromxg", data=_block(), dirty=True)
+    _go(sim)
+    seqs[0].load(ADDR + 0x40)  # forces inclusive L2 eviction of ADDR
+    _go(sim)
+    puts = xg.of_type(AccelMsg.PutM)
+    assert puts and puts[0].data.read_byte(0) == 3
+    xg.send(AccelMsg.WBAck, ADDR, "al2", "fromxg")
+    xg.send(AccelMsg.DataE, ADDR + 0x40, "al2", "fromxg", data=_block())
+    _go(sim)
+    assert l2._state(ADDR) is AL2State.NP
+
+
+def test_invalidate_during_upward_put_answers_invack():
+    """Table 1's B row at the L2's upward face: the race XG resolves."""
+    sim, xg, l2, l1s, seqs = _build(l2_sets=1, l2_assoc=1)
+    seqs[0].store(ADDR, 3)
+    _go(sim)
+    xg.send(AccelMsg.DataM, ADDR, "al2", "fromxg", data=_block(), dirty=True)
+    _go(sim)
+    seqs[0].load(ADDR + 0x40)  # PutM goes up; L2 now in B_PUT for ADDR
+    _go(sim)
+    assert l2._state(ADDR) is AL2State.B_PUT
+    xg.send(AccelMsg.Invalidate, ADDR, "al2", "fromxg")
+    _go(sim)
+    assert xg.of_type(AccelMsg.InvAck), "busy state answers InvAck"
+    assert l2._state(ADDR) is AL2State.B_PUT, "still waiting for WBAck"

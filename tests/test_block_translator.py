@@ -1,0 +1,76 @@
+"""Unit + property tests for block-size translation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.datablock import DataBlock
+from repro.xg.block_translator import BlockTranslator
+
+
+def test_identity_translator():
+    translator = BlockTranslator(64, 64)
+    assert translator.is_identity
+    assert translator.host_blocks_for(0x1040) == [0x1040]
+
+
+def test_component_addresses():
+    translator = BlockTranslator(64, 256)
+    assert translator.ratio == 4
+    assert translator.host_blocks_for(0x10C0) == [0x1000, 0x1040, 0x1080, 0x10C0]
+
+
+def test_invalid_sizes_rejected():
+    with pytest.raises(ValueError):
+        BlockTranslator(64, 96)  # not a multiple
+    with pytest.raises(ValueError):
+        BlockTranslator(64, 32)  # smaller than host
+
+
+def test_merge_places_components_correctly():
+    translator = BlockTranslator(64, 128)
+    low = DataBlock(64)
+    low.write_byte(0, 0xAA)
+    high = DataBlock(64)
+    high.write_byte(0, 0xBB)
+    merged = translator.merge(0x1000, {0x1000: low, 0x1040: high})
+    assert merged.read_byte(0) == 0xAA
+    assert merged.read_byte(64) == 0xBB
+
+
+def test_merge_rejects_foreign_component():
+    translator = BlockTranslator(64, 128)
+    with pytest.raises(ValueError):
+        translator.merge(0x1000, {0x2000: DataBlock(64)})
+
+
+def test_split_sizes_and_addresses():
+    translator = BlockTranslator(64, 256)
+    wide = DataBlock(256)
+    pieces = translator.split(0x1000, wide)
+    assert sorted(pieces) == [0x1000, 0x1040, 0x1080, 0x10C0]
+    assert all(piece.size == 64 for piece in pieces.values())
+    with pytest.raises(ValueError):
+        translator.split(0x1000, DataBlock(128))
+
+
+@given(st.binary(min_size=256, max_size=256))
+def test_split_merge_roundtrip(raw):
+    translator = BlockTranslator(64, 256)
+    wide = DataBlock.from_bytes(raw)
+    pieces = translator.split(0x4000, wide)
+    rebuilt = translator.merge(0x4000, pieces)
+    assert rebuilt == wide
+
+
+@given(
+    st.sampled_from([128, 256, 512]),
+    st.integers(min_value=0, max_value=2**20),
+)
+def test_alignment_invariants(accel_size, addr):
+    translator = BlockTranslator(64, accel_size)
+    base = translator.accel_align(addr)
+    components = translator.host_blocks_for(addr)
+    assert len(components) == accel_size // 64
+    assert components[0] == base
+    assert all(c % 64 == 0 for c in components)
+    assert components[-1] + 64 == base + accel_size

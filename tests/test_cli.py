@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_demo_runs_clean(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "accel read: 21" in out
+    assert "cpu read: 42" in out
+    assert "guarantee violations: 0" in out
+
+
+def test_demo_hammer_transactional(capsys):
+    assert main(["demo", "--host", "hammer", "--variant", "transactional"]) == 0
+    assert "hammer/xg-txn-L1" in capsys.readouterr().out
+
+
+def test_verify_command(capsys):
+    assert main(["verify"]) == 0
+    out = capsys.readouterr().out
+    assert "transactional-style" in out and "OK" in out
+
+
+def test_fuzz_command_safe(capsys):
+    assert main(["fuzz", "--duration", "8000", "--cpu-ops", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "host_safe: True" in out
+
+
+def test_experiment_e1(capsys):
+    assert main(["experiment", "e1"]) == 0
+    assert "Table 1" in capsys.readouterr().out
+
+
+def test_experiment_unknown(capsys):
+    assert main(["experiment", "nope"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_stress_small(capsys):
+    assert main(["stress", "--seeds", "1", "--ops", "400"]) == 0
+    assert "stress runs, 0 failures" in capsys.readouterr().out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

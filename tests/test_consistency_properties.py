@@ -1,0 +1,111 @@
+"""Property-based consistency checks across all organizations.
+
+With operations fully drained between issues, every configuration must
+behave like one sequentially consistent memory: a load returns the value
+of the most recent store to that byte, from ANY core or accelerator.
+Hypothesis generates the op sequences; the reference model is a dict.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.host.config import AccelOrg, HostProtocol, SystemConfig
+from repro.host.system import build_system
+from repro.testing.invariants import check_all
+from repro.xg.interface import XGVariant
+
+BLOCKS = [0x2000 + 64 * i for i in range(4)]
+
+op_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["cpu", "accel"]),  # who
+        st.integers(min_value=0, max_value=1),  # which core of that kind
+        st.sampled_from(["load", "store"]),
+        st.integers(min_value=0, max_value=3),  # block index
+        st.integers(min_value=0, max_value=1),  # byte offset
+        st.integers(min_value=1, max_value=200),  # store value
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def _config(host, org, variant=XGVariant.FULL_STATE, levels=1):
+    return SystemConfig(
+        host=host,
+        org=org,
+        xg_variant=variant,
+        accel_levels=levels,
+        n_cpus=2,
+        n_accel_cores=2,
+        cpu_l1_sets=2,
+        cpu_l1_assoc=1,
+        shared_l2_sets=4,
+        shared_l2_assoc=2,
+        accel_l1_sets=2,
+        accel_l1_assoc=1,
+        accel_l2_sets=2,
+        accel_l2_assoc=2,
+        seed=1,
+    )
+
+
+def _run_sequence(config, ops):
+    system = build_system(config)
+    reference = {}
+    for who, core, kind, block_index, offset, value in ops:
+        seqs = system.cpu_seqs if who == "cpu" else system.accel_seqs
+        seq = seqs[core % len(seqs)]
+        addr = BLOCKS[block_index] + offset
+        if kind == "store":
+            seq.store(addr, value)
+            system.sim.run()
+            reference[addr] = value
+        else:
+            out = {}
+            seq.load(addr, lambda m, d: out.update(data=d))
+            system.sim.run()
+            observed = out["data"].read_byte(addr % out["data"].size)
+            assert observed == reference.get(addr, 0), (
+                f"{config.label}: load {addr:#x} saw {observed}, "
+                f"expected {reference.get(addr, 0)}"
+            )
+    check_all(system)
+    if system.error_log is not None:
+        assert len(system.error_log) == 0
+
+
+_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@pytest.mark.parametrize(
+    "host",
+    [HostProtocol.MESI, HostProtocol.HAMMER, HostProtocol.MESIF],
+    ids=["mesi", "hammer", "mesif"],
+)
+class TestSequentialBehavior:
+    @given(ops=op_strategy)
+    @_SETTINGS
+    def test_xg_full_state(self, host, ops):
+        _run_sequence(_config(host, AccelOrg.XG, XGVariant.FULL_STATE), ops)
+
+    @given(ops=op_strategy)
+    @_SETTINGS
+    def test_xg_transactional_two_level(self, host, ops):
+        _run_sequence(
+            _config(host, AccelOrg.XG, XGVariant.TRANSACTIONAL, levels=2), ops
+        )
+
+    @given(ops=op_strategy)
+    @_SETTINGS
+    def test_accel_side(self, host, ops):
+        _run_sequence(_config(host, AccelOrg.ACCEL_SIDE), ops)
+
+    @given(ops=op_strategy)
+    @_SETTINGS
+    def test_host_side(self, host, ops):
+        _run_sequence(_config(host, AccelOrg.HOST_SIDE), ops)

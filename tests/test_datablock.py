@@ -1,0 +1,95 @@
+"""Unit + property tests for DataBlock and address helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.datablock import BLOCK_SIZE, DataBlock, block_align, block_offset
+
+
+def test_new_block_is_zero():
+    block = DataBlock()
+    assert block.size == BLOCK_SIZE
+    assert block.is_zero()
+
+
+def test_write_read_byte():
+    block = DataBlock()
+    block.write_byte(5, 0xAB)
+    assert block.read_byte(5) == 0xAB
+    assert not block.is_zero()
+
+
+def test_copy_is_independent():
+    a = DataBlock()
+    a.write_byte(0, 1)
+    b = a.copy()
+    b.write_byte(0, 2)
+    assert a.read_byte(0) == 1
+    assert a != b
+
+
+def test_equality_by_content():
+    a = DataBlock()
+    b = DataBlock()
+    assert a == b
+    a.write_byte(3, 7)
+    assert a != b
+    b.write_byte(3, 7)
+    assert a == b
+
+
+def test_unhashable():
+    with pytest.raises(TypeError):
+        hash(DataBlock())
+
+
+def test_zero_clears():
+    block = DataBlock(fill=0xFF)
+    assert not block.is_zero()
+    block.zero()
+    assert block.is_zero()
+
+
+def test_bounds_checks():
+    block = DataBlock(size=8)
+    with pytest.raises(IndexError):
+        block.read_bytes(4, 8)
+    with pytest.raises(IndexError):
+        block.write_bytes(7, b"xx")
+    with pytest.raises(ValueError):
+        block.write_byte(0, 300)
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        DataBlock(size=0)
+    with pytest.raises(ValueError):
+        DataBlock(fill=256)
+
+
+@given(st.binary(min_size=1, max_size=256))
+def test_from_bytes_roundtrip(raw):
+    assert DataBlock.from_bytes(raw).to_bytes() == raw
+
+
+@given(st.integers(min_value=0, max_value=2**40), st.sampled_from([32, 64, 128, 256]))
+def test_block_align_properties(addr, size):
+    base = block_align(addr, size)
+    assert base % size == 0
+    assert base <= addr < base + size
+    assert base + block_offset(addr, size) == addr
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=63), st.integers(min_value=0, max_value=255)),
+        max_size=32,
+    )
+)
+def test_write_sequence_matches_reference(writes):
+    block = DataBlock()
+    reference = bytearray(64)
+    for offset, value in writes:
+        block.write_byte(offset, value)
+        reference[offset] = value
+    assert block.to_bytes() == bytes(reference)

@@ -1,0 +1,190 @@
+"""Directed unit tests for the two directory controllers, driven by
+RawAgents playing the caches."""
+
+import pytest
+
+from repro.memory.datablock import DataBlock
+from repro.memory.main_memory import MainMemory
+from repro.protocols.hammer.directory import DirState, HammerDirectory
+from repro.protocols.hammer.messages import HammerMsg
+from repro.protocols.mesi.l2 import L2State, MesiL2
+from repro.protocols.mesi.messages import MesiMsg
+from repro.sim.network import FixedLatency, Network
+from repro.sim.simulator import Simulator
+
+from tests.helpers import RawAgent
+
+ADDR = 0x6000
+
+
+def _block(value=0):
+    data = DataBlock()
+    data.write_byte(0, value)
+    return data
+
+
+# -- Hammer directory -----------------------------------------------------------
+
+
+def _hammer():
+    sim = Simulator(seed=0)
+    net = Network(sim, FixedLatency(1), name="host")
+    memory = MainMemory(latency=5)
+    directory = HammerDirectory(
+        sim, "dir", net, memory, cache_names=["a", "b"]
+    )
+    net.attach(directory)
+    a = RawAgent(sim, "a", net)
+    b = RawAgent(sim, "b", net)
+    return sim, directory, memory, a, b
+
+
+def _go(sim, ticks=100):
+    sim.run(max_ticks=sim.tick + ticks, final_check=False)
+
+
+def test_hammer_get_broadcasts_to_others_and_fetches_memory():
+    sim, directory, memory, a, b = _hammer()
+    a.send(HammerMsg.GetS, ADDR, "dir", "request")
+    _go(sim)
+    assert b.of_type(HammerMsg.Fwd_GetS), "peer probed"
+    assert not a.of_type(HammerMsg.Fwd_GetS), "requestor never probed"
+    assert a.of_type(HammerMsg.MemData), "memory always answers"
+
+
+def test_hammer_blocks_per_address_until_unblock():
+    sim, directory, memory, a, b = _hammer()
+    a.send(HammerMsg.GetS, ADDR, "dir", "request")
+    _go(sim)
+    b.send(HammerMsg.GetM, ADDR, "dir", "request")
+    _go(sim)
+    assert not a.of_type(HammerMsg.Fwd_GetM), "second txn must wait"
+    a.send(HammerMsg.UnblockE, ADDR, "dir", "response")
+    _go(sim)
+    assert a.of_type(HammerMsg.Fwd_GetM), "released after the Unblock"
+    assert directory.owner_of(ADDR) == "a"
+
+
+def test_hammer_owner_put_two_phase():
+    sim, directory, memory, a, b = _hammer()
+    a.send(HammerMsg.GetM, ADDR, "dir", "request")
+    _go(sim)
+    a.send(HammerMsg.UnblockM, ADDR, "dir", "response")
+    _go(sim)
+    a.send(HammerMsg.PutM, ADDR, "dir", "request")
+    _go(sim)
+    assert a.of_type(HammerMsg.WBAck)
+    a.send(HammerMsg.WBData, ADDR, "dir", "response", data=_block(7), dirty=True)
+    _go(sim)
+    assert memory.peek(ADDR).read_byte(0) == 7
+    assert directory.owner_of(ADDR) is None
+
+
+def test_hammer_nonowner_put_nacked():
+    sim, directory, memory, a, b = _hammer()
+    b.send(HammerMsg.PutM, ADDR, "dir", "request")
+    _go(sim)
+    assert b.of_type(HammerMsg.WBNack)
+    assert not b.of_type(HammerMsg.WBAck)
+
+
+def test_hammer_puts_sunk_silently():
+    sim, directory, memory, a, b = _hammer()
+    a.send(HammerMsg.PutS, ADDR, "dir", "request")
+    _go(sim)
+    assert not a.received, "no response to a sunk PutS"
+    assert directory.stats.get("puts_sunk") == 1
+
+
+def test_hammer_unblock_s_keeps_owner():
+    sim, directory, memory, a, b = _hammer()
+    a.send(HammerMsg.GetM, ADDR, "dir", "request")
+    _go(sim)
+    a.send(HammerMsg.UnblockM, ADDR, "dir", "response")
+    _go(sim)
+    b.send(HammerMsg.GetS, ADDR, "dir", "request")
+    _go(sim)
+    b.send(HammerMsg.UnblockS, ADDR, "dir", "response")
+    _go(sim)
+    assert directory.owner_of(ADDR) == "a", "GetS leaves the M/O owner in place"
+
+
+# -- MESI L2 -------------------------------------------------------------------------
+
+
+def _mesi_l2():
+    sim = Simulator(seed=0)
+    net = Network(sim, FixedLatency(1), name="host")
+    memory = MainMemory(latency=5)
+    l2 = MesiL2(sim, "l2", net, memory, num_sets=2, assoc=2)
+    net.attach(l2)
+    a = RawAgent(sim, "a", net)
+    b = RawAgent(sim, "b", net)
+    return sim, l2, memory, a, b
+
+
+def test_mesi_l2_miss_grants_exclusive():
+    sim, l2, memory, a, b = _mesi_l2()
+    a.send(MesiMsg.GetS, ADDR, "l2", "request")
+    _go(sim)
+    assert a.of_type(MesiMsg.DataE)
+    a.send(MesiMsg.UnblockX, ADDR, "l2", "response")
+    _go(sim)
+    entry = l2.cache.lookup(ADDR, touch=False)
+    assert entry.state is L2State.X and entry.meta["owner"] == "a"
+
+
+def test_mesi_l2_getm_sends_acks_count_and_invs():
+    sim, l2, memory, a, b = _mesi_l2()
+    for agent in (a, b):
+        agent.send(MesiMsg.GetS, ADDR, "l2", "request")
+        _go(sim)
+        agent.send(MesiMsg.UnblockS, ADDR, "l2", "response")
+        _go(sim)
+    a.send(MesiMsg.GetM, ADDR, "l2", "request")
+    _go(sim)
+    grant = a.of_type(MesiMsg.DataM)[0]
+    assert grant.ack_count == 1, "one other sharer to invalidate"
+    assert b.of_type(MesiMsg.Inv)
+
+
+def test_mesi_l2_dirty_grant_on_unshared_gets():
+    sim, l2, memory, a, b = _mesi_l2()
+    # make the L2 copy dirty via an owner writeback
+    a.send(MesiMsg.GetM, ADDR, "l2", "request")
+    _go(sim)
+    a.send(MesiMsg.UnblockX, ADDR, "l2", "response")
+    _go(sim)
+    a.send(MesiMsg.PutM, ADDR, "l2", "request", data=_block(3), dirty=True)
+    _go(sim)
+    assert a.of_type(MesiMsg.WBAck)
+    b.send(MesiMsg.GetS, ADDR, "l2", "request")
+    _go(sim)
+    grant = b.of_type(MesiMsg.DataM)
+    assert grant and grant[0].data.read_byte(0) == 3, "dirty-migration grant"
+
+
+def test_mesi_l2_stale_put_nacked_and_sharer_removed():
+    sim, l2, memory, a, b = _mesi_l2()
+    a.send(MesiMsg.GetS, ADDR, "l2", "request")
+    _go(sim)
+    a.send(MesiMsg.UnblockS, ADDR, "l2", "response")
+    _go(sim)
+    a.send(MesiMsg.PutM, ADDR, "l2", "request", data=_block(), dirty=True)  # wrong type
+    _go(sim)
+    assert a.of_type(MesiMsg.WBNack)
+    entry = l2.cache.lookup(ADDR, touch=False)
+    assert "a" not in entry.meta["sharers"]
+
+
+def test_mesi_l2_requests_stall_while_busy():
+    sim, l2, memory, a, b = _mesi_l2()
+    a.send(MesiMsg.GetS, ADDR, "l2", "request")
+    _go(sim)
+    b.send(MesiMsg.GetS, ADDR, "l2", "request")
+    _go(sim)
+    assert not b.of_type(MesiMsg.DataE) and not b.of_type(MesiMsg.DataS)
+    a.send(MesiMsg.UnblockX, ADDR, "l2", "response")
+    _go(sim)
+    # now b is served via a forward to the new owner a
+    assert a.of_type(MesiMsg.Fwd_GetS)

@@ -1,0 +1,73 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.sim.event import EventQueue
+
+
+def test_events_fire_in_tick_order():
+    queue = EventQueue()
+    fired = []
+    queue.schedule(30, fired.append, "c")
+    queue.schedule(10, fired.append, "a")
+    queue.schedule(20, fired.append, "b")
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        event.fire()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_tick_events_fire_in_insertion_order():
+    queue = EventQueue()
+    fired = []
+    for label in "abcdef":
+        queue.schedule(5, fired.append, label)
+    while queue:
+        queue.pop().fire()
+    assert fired == list("abcdef")
+
+
+def test_cancelled_event_does_not_fire():
+    queue = EventQueue()
+    fired = []
+    keep = queue.schedule(1, fired.append, "keep")
+    drop = queue.schedule(1, fired.append, "drop")
+    drop.cancel()
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        event.fire()
+    assert fired == ["keep"]
+    assert keep.tick == 1
+
+
+def test_peek_tick_skips_cancelled():
+    queue = EventQueue()
+    first = queue.schedule(1, lambda: None)
+    queue.schedule(2, lambda: None)
+    first.cancel()
+    assert queue.peek_tick() == 2
+
+
+def test_len_counts_only_live_events():
+    queue = EventQueue()
+    events = [queue.schedule(i, lambda: None) for i in range(5)]
+    events[0].cancel()
+    events[3].cancel()
+    assert len(queue) == 3
+
+
+def test_negative_tick_rejected():
+    queue = EventQueue()
+    with pytest.raises(ValueError):
+        queue.schedule(-1, lambda: None)
+
+
+def test_empty_queue_pop_returns_none():
+    queue = EventQueue()
+    assert queue.pop() is None
+    assert queue.peek_tick() is None
+    assert not queue

@@ -1,0 +1,119 @@
+"""Directed tests for the Hammer-like exclusive MOESI host protocol."""
+
+import pytest
+
+from repro.protocols.hammer.cache import HCState
+
+from tests.helpers import HammerHost
+
+
+def test_first_load_takes_exclusive():
+    host = HammerHost()
+    host.load(0, 0x1000)
+    assert host.caches[0].block_state(0x1000) is HCState.E
+    assert host.directory.owner_of(0x1000) == "cache.0"
+
+
+def test_exclusive_clean_transfer_on_gets():
+    """An E owner hands the block over exclusively on a GetS — how DataE
+    reaches a GetS through Crossing Guard on this host."""
+    host = HammerHost()
+    host.load(0, 0x1000)
+    host.load(1, 0x1000)
+    assert host.caches[0].block_state(0x1000) is HCState.I
+    assert host.caches[1].block_state(0x1000) is HCState.E
+
+
+def test_m_owner_downgrades_to_o_on_gets():
+    host = HammerHost()
+    host.store(0, 0x1000, 9)
+    host.load(1, 0x1000)
+    assert host.caches[0].block_state(0x1000) is HCState.O
+    assert host.caches[1].block_state(0x1000) is HCState.S
+    assert host.load(1, 0x1000).read_byte(0) == 9
+
+
+def test_owner_upgrade_from_o():
+    host = HammerHost()
+    host.store(0, 0x1000, 1)
+    host.load(1, 0x1000)  # cache.0 -> O, cache.1 -> S
+    host.store(0, 0x1000, 2)  # O upgrade: invalidate the sharer
+    assert host.caches[0].block_state(0x1000) is HCState.M
+    assert host.caches[1].block_state(0x1000) is HCState.I
+    assert host.load(1, 0x1000).read_byte(0) == 2
+
+
+def test_getm_pulls_dirty_data_from_owner():
+    host = HammerHost()
+    host.store(0, 0x1000, 30)
+    host.store(1, 0x1000, 31)
+    assert host.caches[0].block_state(0x1000) is HCState.I
+    assert host.caches[1].block_state(0x1000) is HCState.M
+    assert host.load(0, 0x1000).read_byte(0) == 31
+
+
+def test_two_phase_writeback_updates_memory():
+    host = HammerHost(sets=1, assoc=1)
+    host.store(0, 0x1000, 66)
+    host.load(0, 0x2000)  # evicts via PutM -> WBAck -> WBData
+    assert host.memory.peek(0x1000).read_byte(0) == 66
+    assert host.directory.owner_of(0x1000) is None
+
+
+def test_silent_shared_eviction():
+    """Hammer drops S blocks silently — the reason XG's PutS is pure
+    overhead on this host (Section 2.1)."""
+    host = HammerHost(sets=1, assoc=1)
+    host.store(0, 0x1000, 1)
+    host.load(1, 0x1000)  # cache.1 -> S
+    requests_before = host.directory.stats.get("broadcasts")
+    before = host.caches[1].stats.get("silent_s_evictions")
+    host.load(1, 0x2000)  # evicts the S block silently
+    assert host.caches[1].stats.get("silent_s_evictions") == before + 1
+    assert host.directory.stats.get("broadcasts") == requests_before + 1
+
+
+def test_every_cache_answers_broadcast_probes():
+    host = HammerHost(n_cpus=4)
+    host.load(0, 0x1000)
+    probes_before = host.directory.stats.get("probes_sent")
+    host.store(1, 0x1000, 5)
+    assert host.directory.stats.get("probes_sent") == probes_before + 3
+
+
+def test_response_counting_completes_exactly():
+    host = HammerHost(n_cpus=3)
+    host.store(0, 0x1000, 1)
+    host.load(1, 0x1000)
+    host.load(2, 0x1000)
+    # after everything drains no TBEs remain — counts were exact
+    for cache in host.caches:
+        assert len(cache.tbes) == 0
+    assert len(host.directory.tbes) == 0
+
+
+def test_stale_put_gets_nacked():
+    """PutM racing a GetM: directory Nacks the loser; no state wedges.
+
+    Forced deterministically: cache.0 evicts (PutM in flight) while
+    cache.1's GetM is processed first thanks to queueing order.
+    """
+    host = HammerHost(sets=1, assoc=1)
+    host.store(0, 0x1000, 3)
+    # Issue both without draining in between.
+    host.seqs[1].store(0x1000, 4)
+    host.seqs[0].load(0x2000)  # triggers cache.0's eviction of 0x1000
+    host.sim.run()
+    assert host.load(0, 0x1000).read_byte(0) == 4
+    # nothing wedged: all transactions closed
+    assert len(host.directory.tbes) == 0
+    assert all(len(c.tbes) == 0 for c in host.caches)
+
+
+def test_memory_answers_when_no_owner():
+    host = HammerHost()
+    host.store(0, 0x1000, 8)
+    host.sim.run()
+    # evict to memory
+    host2 = HammerHost()
+    assert host2.load(0, 0x9000).is_zero()

@@ -1,0 +1,217 @@
+"""Directed race tests for the Hammer cache: a RawAgent plays the
+directory (broadcast forwards, WBAck/Nack) and a peer cache."""
+
+import pytest
+
+from repro.host.cpu import Sequencer
+from repro.memory.datablock import DataBlock
+from repro.protocols.hammer.cache import HCState, HammerCache
+from repro.protocols.hammer.messages import HammerMsg
+from repro.sim.network import FixedLatency, Network
+from repro.sim.simulator import Simulator
+
+from tests.helpers import RawAgent
+
+ADDR = 0x3000
+
+
+def _build(n_peers=1, xg_tolerant=False):
+    sim = Simulator(seed=0)
+    net = Network(sim, FixedLatency(1), name="host")
+    directory = RawAgent(sim, "dir", net)
+    peer = RawAgent(sim, "peer", net)
+    cache = HammerCache(
+        sim, "cache", net, "dir", n_peers=n_peers, num_sets=2, assoc=1,
+        xg_tolerant=xg_tolerant,
+    )
+    net.attach(cache)
+    seq = Sequencer(sim, "cpu")
+    seq.attach(cache)
+    return sim, net, directory, peer, cache, seq
+
+
+def _data(value=0):
+    block = DataBlock()
+    block.write_byte(0, value)
+    return block
+
+
+def _go(sim):
+    sim.run(final_check=False)
+
+
+def test_gets_counts_peer_and_memory_responses():
+    sim, net, directory, peer, cache, seq = _build(n_peers=1)
+    out = []
+    seq.load(ADDR, lambda m, d: out.append(d.read_byte(0)))
+    _go(sim)
+    assert directory.of_type(HammerMsg.GetS)
+    # peer acks (not holding) — still waiting for memory
+    peer.send(HammerMsg.PeerAck, ADDR, "cache", "response")
+    _go(sim)
+    assert not out
+    directory.send(HammerMsg.MemData, ADDR, "cache", "response", data=_data(6))
+    _go(sim)
+    assert out == [6]
+    assert cache.block_state(ADDR) is HCState.E, "no sharers -> exclusive"
+    assert directory.of_type(HammerMsg.UnblockE)
+
+
+def test_shared_hint_forces_s():
+    sim, net, directory, peer, cache, seq = _build(n_peers=1)
+    seq.load(ADDR)
+    _go(sim)
+    peer.send(HammerMsg.PeerAck, ADDR, "cache", "response", shared_hint=True)
+    directory.send(HammerMsg.MemData, ADDR, "cache", "response", data=_data())
+    _go(sim)
+    assert cache.block_state(ADDR) is HCState.S
+    assert directory.of_type(HammerMsg.UnblockS)
+
+
+def test_peer_dirty_data_preferred_over_memory():
+    sim, net, directory, peer, cache, seq = _build(n_peers=1)
+    out = []
+    seq.load(ADDR, lambda m, d: out.append(d.read_byte(0)))
+    _go(sim)
+    # memory responds FIRST with stale data, then the owner's dirty data
+    directory.send(HammerMsg.MemData, ADDR, "cache", "response", data=_data(1))
+    _go(sim)
+    peer.send(
+        HammerMsg.PeerData, ADDR, "cache", "response",
+        data=_data(9), dirty=True, shared_hint=True,
+    )
+    _go(sim)
+    assert out == [9], "dirty peer data must win over stale memory"
+    assert cache.block_state(ADDR) is HCState.S
+
+
+def test_exclusive_transfer_gives_e():
+    sim, net, directory, peer, cache, seq = _build(n_peers=1)
+    seq.load(ADDR)
+    _go(sim)
+    peer.send(HammerMsg.PeerDataExcl, ADDR, "cache", "response", data=_data(2))
+    directory.send(HammerMsg.MemData, ADDR, "cache", "response", data=_data(1))
+    _go(sim)
+    assert cache.block_state(ADDR) is HCState.E
+    assert cache.cache.lookup(ADDR).data.read_byte(0) == 2
+
+
+def _to_modified(sim, directory, cache, seq, value=7):
+    seq.store(ADDR, value)
+    _go(sim)
+    directory.send(HammerMsg.MemData, ADDR, "cache", "response", data=_data())
+    sim.component("peer").send(HammerMsg.PeerAck, ADDR, "cache", "response")
+    _go(sim)
+    assert cache.block_state(ADDR) is HCState.M
+
+
+def test_probe_responses_from_every_stable_state():
+    sim, net, directory, peer, cache, seq = _build()
+    _to_modified(sim, directory, cache, seq, value=5)
+    # M + Fwd_GetS -> O with dirty shared data
+    directory.send(HammerMsg.Fwd_GetS, ADDR, "cache", "forward", requestor="peer")
+    _go(sim)
+    response = peer.of_type(HammerMsg.PeerData)[0]
+    assert response.dirty and response.shared_hint
+    assert cache.block_state(ADDR) is HCState.O
+    # O + Fwd_GetM -> hand over and invalidate
+    directory.send(HammerMsg.Fwd_GetM, ADDR, "cache", "forward", requestor="peer")
+    _go(sim)
+    assert cache.block_state(ADDR) is HCState.I
+    # I + probes -> plain acks
+    directory.send(HammerMsg.Fwd_GetS, ADDR, "cache", "forward", requestor="peer")
+    _go(sim)
+    assert [m for m in peer.of_type(HammerMsg.PeerAck) if not m.shared_hint]
+
+
+def test_gets_only_suppresses_exclusive_transfer():
+    """The Transactional-XG host modification: an E owner answers
+    Fwd_GetS_Only with shared clean data instead of transferring E."""
+    sim, net, directory, peer, cache, seq = _build()
+    seq.load(ADDR)
+    _go(sim)
+    peer.send(HammerMsg.PeerAck, ADDR, "cache", "response")
+    directory.send(HammerMsg.MemData, ADDR, "cache", "response", data=_data(3))
+    _go(sim)
+    assert cache.block_state(ADDR) is HCState.E
+    directory.send(HammerMsg.Fwd_GetS_Only, ADDR, "cache", "forward", requestor="peer")
+    _go(sim)
+    assert not peer.of_type(HammerMsg.PeerDataExcl)
+    response = peer.of_type(HammerMsg.PeerData)[0]
+    assert response.shared_hint and not response.dirty
+    assert cache.block_state(ADDR) is HCState.S
+
+
+def test_two_phase_writeback_and_fwd_race():
+    sim, net, directory, peer, cache, seq = _build()
+    _to_modified(sim, directory, cache, seq, value=8)
+    seq.load(ADDR + 64 * 2)  # evict -> PutM (no data yet)
+    _go(sim)
+    puts = directory.of_type(HammerMsg.PutM)
+    assert puts and puts[0].data is None, "phase 1 carries no data"
+    # a Fwd_GetS races in before the WBAck: we are still owner
+    directory.send(HammerMsg.Fwd_GetS, ADDR, "cache", "forward", requestor="peer")
+    _go(sim)
+    assert peer.of_type(HammerMsg.PeerData)[0].dirty
+    assert cache.block_state(ADDR) is HCState.MI_A, "still writing back"
+    directory.send(HammerMsg.WBAck, ADDR, "cache", "forward")
+    _go(sim)
+    wbdata = directory.of_type(HammerMsg.WBData)
+    assert wbdata and wbdata[0].dirty and wbdata[0].data.read_byte(0) == 8
+    assert cache.block_state(ADDR) is HCState.I
+
+
+def test_writeback_loses_to_getm_and_absorbs_nack():
+    sim, net, directory, peer, cache, seq = _build()
+    _to_modified(sim, directory, cache, seq)
+    seq.load(ADDR + 64 * 2)  # PutM in flight
+    _go(sim)
+    directory.send(HammerMsg.Fwd_GetM, ADDR, "cache", "forward", requestor="peer")
+    _go(sim)
+    assert peer.of_type(HammerMsg.PeerData)
+    assert cache.block_state(ADDR) is HCState.II_A
+    directory.send(HammerMsg.WBNack, ADDR, "cache", "forward")
+    _go(sim)
+    assert cache.block_state(ADDR) is HCState.I
+    assert not directory.of_type(HammerMsg.WBData), "no data after a Nack"
+
+
+def test_smad_fwd_getm_falls_back_to_imad():
+    sim, net, directory, peer, cache, seq = _build()
+    # reach S
+    seq.load(ADDR)
+    _go(sim)
+    peer.send(HammerMsg.PeerAck, ADDR, "cache", "response", shared_hint=True)
+    directory.send(HammerMsg.MemData, ADDR, "cache", "response", data=_data(1))
+    _go(sim)
+    assert cache.block_state(ADDR) is HCState.S
+    # upgrade, but a remote GetM wins first
+    done = []
+    seq.store(ADDR, 2, lambda m, d: done.append(d.read_byte(0)))
+    _go(sim)
+    assert cache.block_state(ADDR) is HCState.SM_AD
+    directory.send(HammerMsg.Fwd_GetM, ADDR, "cache", "forward", requestor="peer")
+    _go(sim)
+    assert cache.block_state(ADDR) is HCState.IM_AD
+    assert peer.of_type(HammerMsg.PeerAck)
+    # now our own broadcast completes with the new owner's data
+    peer.send(HammerMsg.PeerData, ADDR, "cache", "response", data=_data(60), dirty=True)
+    directory.send(HammerMsg.MemData, ADDR, "cache", "response", data=_data(1))
+    _go(sim)
+    assert done and done[0] == 2
+    entry = cache.cache.lookup(ADDR)
+    assert entry.data.read_byte(0) == 2  # store applied over value 60
+
+
+def test_unexpected_nack_sunk_only_when_tolerant():
+    from repro.coherence.controller import ProtocolError
+
+    sim, net, directory, peer, cache, seq = _build(xg_tolerant=True)
+    directory.send(HammerMsg.WBNack, ADDR, "cache", "forward")
+    _go(sim)  # sunk + anomaly noted
+    assert cache.stats.get("protocol_anomalies") == 1
+
+    sim2, net2, dir2, peer2, cache2, seq2 = _build(xg_tolerant=False)
+    dir2.send(HammerMsg.WBNack, ADDR, "cache", "forward")
+    with pytest.raises(ProtocolError):
+        _go(sim2)

@@ -1,0 +1,213 @@
+"""Directed race tests for the MESI L1: each classic race is scripted
+message-by-message with a RawAgent playing the L2/directory."""
+
+import pytest
+
+from repro.host.cpu import Sequencer
+from repro.memory.datablock import DataBlock
+from repro.protocols.mesi.l1 import L1State, MesiL1
+from repro.protocols.mesi.messages import MesiMsg
+from repro.sim.network import FixedLatency, Network
+from repro.sim.simulator import Simulator
+
+from tests.helpers import RawAgent
+
+ADDR = 0x3000
+
+
+def _build():
+    sim = Simulator(seed=0)
+    net = Network(sim, FixedLatency(1), name="host")
+    l2 = RawAgent(sim, "l2", net)
+    peer = RawAgent(sim, "peer", net)
+    l1 = MesiL1(sim, "l1", net, "l2", num_sets=2, assoc=1)
+    net.attach(l1)
+    seq = Sequencer(sim, "cpu")
+    seq.attach(l1)
+    return sim, net, l2, peer, l1, seq
+
+
+def _data(value=0):
+    block = DataBlock()
+    block.write_byte(0, value)
+    return block
+
+
+def _go(sim):
+    sim.run(final_check=False)
+
+
+def test_load_miss_happy_path_unblocks():
+    sim, net, l2, peer, l1, seq = _build()
+    out = []
+    seq.load(ADDR, lambda m, d: out.append(d.read_byte(0)))
+    _go(sim)
+    assert l2.of_type(MesiMsg.GetS)
+    l2.send(MesiMsg.DataS, ADDR, "l1", "response", data=_data(4))
+    _go(sim)
+    assert out == [4]
+    assert l1.block_state(ADDR) is L1State.S
+    assert l2.of_type(MesiMsg.UnblockS)
+
+
+def test_getm_counts_invacks_before_and_after_data():
+    """InvAcks may arrive before the DataM that says how many to expect."""
+    sim, net, l2, peer, l1, seq = _build()
+    done = []
+    seq.store(ADDR, 9, lambda m, d: done.append(1))
+    _go(sim)
+    # one ack arrives FIRST
+    peer.send(MesiMsg.InvAck, ADDR, "l1", "response")
+    _go(sim)
+    assert not done
+    # now data announcing 2 acks
+    l2.send(MesiMsg.DataM, ADDR, "l1", "response", data=_data(), ack_count=2)
+    _go(sim)
+    assert not done, "still one ack short"
+    peer.send(MesiMsg.InvAck, ADDR, "l1", "response")
+    _go(sim)
+    assert done
+    assert l1.block_state(ADDR) is L1State.M
+    assert l2.of_type(MesiMsg.UnblockX)
+
+
+def test_smad_inv_race_restarts_as_plain_getm():
+    """Upgrade loses: Inv arrives while SM_AD; ack the winner, drop the
+    stale S copy, and complete later with fresh data (ISI-style race)."""
+    sim, net, l2, peer, l1, seq = _build()
+    # get to S first
+    seq.load(ADDR)
+    _go(sim)
+    l2.send(MesiMsg.DataS, ADDR, "l1", "response", data=_data(1))
+    _go(sim)
+    # upgrade
+    done = []
+    seq.store(ADDR, 2, lambda m, d: done.append(d.read_byte(0)))
+    _go(sim)
+    assert l1.block_state(ADDR) is L1State.SM_AD
+    # the race: a remote GetM won; L2 invalidates us
+    l2.send(MesiMsg.Inv, ADDR, "l1", "forward", requestor="peer")
+    _go(sim)
+    assert peer.of_type(MesiMsg.InvAck), "winner must get our ack"
+    assert l1.block_state(ADDR) is L1State.IM_AD
+    # eventually fresh data arrives from the new owner
+    peer.send(MesiMsg.DataM, ADDR, "l1", "response", data=_data(50), ack_count=0)
+    _go(sim)
+    assert done and done[0] == 2  # our store applied on top of value 50
+    assert l1.cache.lookup(ADDR).data.read_byte(0) == 2
+
+
+def _to_modified(sim, l2, l1, seq, value=7):
+    seq.store(ADDR, value)
+    _go(sim)
+    l2.send(MesiMsg.DataM, ADDR, "l1", "response", data=_data(), ack_count=0)
+    _go(sim)
+    assert l1.block_state(ADDR) is L1State.M
+
+
+def test_mia_fwd_gets_supplies_data_then_nack_closes():
+    """Replacement races Fwd_GetS: serve it (DataS + CopyBack), then the
+    directory Nacks our stale PutM."""
+    sim, net, l2, peer, l1, seq = _build()
+    _to_modified(sim, l2, l1, seq)
+    seq.load(ADDR + 64 * 2)  # same set (2 sets, assoc 1) -> evict ADDR
+    _go(sim)
+    assert l2.of_type(MesiMsg.PutM)
+    assert l1.block_state(ADDR) is L1State.MI_A
+    l2.send(MesiMsg.Fwd_GetS, ADDR, "l1", "forward", requestor="peer")
+    _go(sim)
+    data_out = peer.of_type(MesiMsg.DataS)
+    assert data_out and data_out[0].data.read_byte(0) == 7
+    copyback = l2.of_type(MesiMsg.CopyBack)
+    assert copyback and copyback[0].dirty
+    assert l1.block_state(ADDR) is L1State.II_A
+    l2.send(MesiMsg.WBNack, ADDR, "l1", "forward")
+    _go(sim)
+    assert l1.block_state(ADDR) is L1State.I
+
+
+def test_mia_fwd_getm_hands_over_ownership():
+    sim, net, l2, peer, l1, seq = _build()
+    _to_modified(sim, l2, l1, seq)
+    seq.load(ADDR + 64 * 2)
+    _go(sim)
+    l2.send(MesiMsg.Fwd_GetM, ADDR, "l1", "forward", requestor="peer")
+    _go(sim)
+    data_out = peer.of_type(MesiMsg.DataM)
+    assert data_out and data_out[0].data.read_byte(0) == 7
+    assert l1.block_state(ADDR) is L1State.II_A
+
+
+def test_mia_recall_during_writeback():
+    sim, net, l2, peer, l1, seq = _build()
+    _to_modified(sim, l2, l1, seq)
+    seq.load(ADDR + 64 * 2)
+    _go(sim)
+    l2.send(MesiMsg.Recall, ADDR, "l1", "forward")
+    _go(sim)
+    cbi = l2.of_type(MesiMsg.CopyBackInv)
+    assert cbi and cbi[0].dirty and cbi[0].data.read_byte(0) == 7
+    assert l1.block_state(ADDR) is L1State.II_A
+
+
+def test_sia_inv_race_acks_winner():
+    """PutS races an Inv: ack the requestor from SI_A, absorb the Nack."""
+    sim, net, l2, peer, l1, seq = _build()
+    seq.load(ADDR)
+    _go(sim)
+    l2.send(MesiMsg.DataS, ADDR, "l1", "response", data=_data())
+    _go(sim)
+    seq.load(ADDR + 64 * 2)  # evict the S block -> PutS
+    _go(sim)
+    assert l1.block_state(ADDR) is L1State.SI_A
+    l2.send(MesiMsg.Inv, ADDR, "l1", "forward", requestor="peer")
+    _go(sim)
+    assert peer.of_type(MesiMsg.InvAck)
+    assert l1.block_state(ADDR) is L1State.II_A
+    l2.send(MesiMsg.WBNack, ADDR, "l1", "forward")
+    _go(sim)
+    assert l1.block_state(ADDR) is L1State.I
+
+
+def test_iia_still_acks_second_invalidation():
+    """After a downgrade during writeback, the L2 may still consider us a
+    sharer: II_A must keep answering Invs."""
+    sim, net, l2, peer, l1, seq = _build()
+    _to_modified(sim, l2, l1, seq)
+    seq.load(ADDR + 64 * 2)
+    _go(sim)
+    l2.send(MesiMsg.Fwd_GetS, ADDR, "l1", "forward", requestor="peer")
+    _go(sim)
+    assert l1.block_state(ADDR) is L1State.II_A
+    l2.send(MesiMsg.Inv, ADDR, "l1", "forward", requestor="peer")
+    _go(sim)
+    assert len(peer.of_type(MesiMsg.InvAck)) == 1
+    l2.send(MesiMsg.WBNack, ADDR, "l1", "forward")
+    _go(sim)
+    assert l1.block_state(ADDR) is L1State.I
+
+
+def test_owner_fwd_gets_downgrades_and_copies_back():
+    sim, net, l2, peer, l1, seq = _build()
+    _to_modified(sim, l2, l1, seq, value=3)
+    l2.send(MesiMsg.Fwd_GetS, ADDR, "l1", "forward", requestor="peer")
+    _go(sim)
+    assert l1.block_state(ADDR) is L1State.S
+    assert not l1.cache.lookup(ADDR).dirty, "ownership moved to the L2"
+    assert peer.of_type(MesiMsg.DataS)
+    assert l2.of_type(MesiMsg.CopyBack)[0].dirty
+
+
+def test_data_e_grant_then_silent_upgrade_then_recall():
+    sim, net, l2, peer, l1, seq = _build()
+    seq.load(ADDR)
+    _go(sim)
+    l2.send(MesiMsg.DataE, ADDR, "l1", "response", data=_data(1))
+    _go(sim)
+    assert l1.block_state(ADDR) is L1State.E
+    seq.store(ADDR, 2)  # silent E->M
+    _go(sim)
+    l2.send(MesiMsg.Recall, ADDR, "l1", "forward")
+    _go(sim)
+    cbi = l2.of_type(MesiMsg.CopyBackInv)
+    assert cbi and cbi[0].dirty and cbi[0].data.read_byte(0) == 2

@@ -1,0 +1,186 @@
+"""Directed message-level race tests for the MESIF L1."""
+
+import pytest
+
+from repro.host.cpu import Sequencer
+from repro.memory.datablock import DataBlock
+from repro.protocols.mesif.l1 import FL1State, MesifL1
+from repro.protocols.mesif.messages import MesifMsg
+from repro.sim.network import FixedLatency, Network
+from repro.sim.simulator import Simulator
+
+from tests.helpers import RawAgent
+
+ADDR = 0x3000
+
+
+def _build():
+    sim = Simulator(seed=0)
+    net = Network(sim, FixedLatency(1), name="host")
+    l2 = RawAgent(sim, "l2", net)
+    peer = RawAgent(sim, "peer", net)
+    l1 = MesifL1(sim, "l1", net, "l2", num_sets=2, assoc=1)
+    net.attach(l1)
+    seq = Sequencer(sim, "cpu")
+    seq.attach(l1)
+    return sim, l2, peer, l1, seq
+
+
+def _data(value=0):
+    block = DataBlock()
+    block.write_byte(0, value)
+    return block
+
+
+def _go(sim):
+    sim.run(final_check=False)
+
+
+def test_dataf_fill_takes_f_and_unblocks_f():
+    sim, l2, peer, l1, seq = _build()
+    seq.load(ADDR)
+    _go(sim)
+    l2.send(MesifMsg.DataF, ADDR, "l1", "response", data=_data(3))
+    _go(sim)
+    assert l1.block_state(ADDR) is FL1State.F
+    assert l2.of_type(MesifMsg.UnblockF)
+
+
+def test_f_holder_serves_forward_and_downgrades():
+    sim, l2, peer, l1, seq = _build()
+    seq.load(ADDR)
+    _go(sim)
+    l2.send(MesifMsg.DataF, ADDR, "l1", "response", data=_data(5))
+    _go(sim)
+    l2.send(MesifMsg.Fwd_GetS_F, ADDR, "l1", "forward", requestor="peer")
+    _go(sim)
+    served = peer.of_type(MesifMsg.DataF)
+    assert served and served[0].data.read_byte(0) == 5
+    assert l1.block_state(ADDR) is FL1State.S, "F moves to the requestor"
+
+
+def test_stale_forward_after_silent_eviction_fnacks():
+    sim, l2, peer, l1, seq = _build()
+    seq.load(ADDR)
+    _go(sim)
+    l2.send(MesifMsg.DataF, ADDR, "l1", "response", data=_data())
+    _go(sim)
+    seq.load(ADDR + 64 * 2)  # same set, 1-way: silent eviction
+    _go(sim)
+    assert l1.block_state(ADDR) is FL1State.I
+    l2.send(MesifMsg.Fwd_GetS_F, ADDR, "l1", "forward", requestor="peer")
+    _go(sim)
+    assert l2.of_type(MesifMsg.FNack)
+    assert not peer.of_type(MesifMsg.DataF)
+
+
+def test_stale_inv_in_fill_transient_acks_and_waits():
+    """The ISI race: an Inv from an older transaction hits our IS_D; we
+    ack, stay, and the later data still fills normally."""
+    sim, l2, peer, l1, seq = _build()
+    out = []
+    seq.load(ADDR, lambda m, d: out.append(d.read_byte(0)))
+    _go(sim)
+    assert l1.block_state(ADDR) is FL1State.IS_D
+    l2.send(MesifMsg.Inv, ADDR, "l1", "forward", requestor="peer")
+    _go(sim)
+    assert peer.of_type(MesifMsg.InvAck)
+    assert l1.block_state(ADDR) is FL1State.IS_D, "still waiting for data"
+    l2.send(MesifMsg.DataF, ADDR, "l1", "response", data=_data(8))
+    _go(sim)
+    assert out == [8]
+    assert l1.block_state(ADDR) is FL1State.F
+
+
+def test_stale_inv_during_getm_collection():
+    sim, l2, peer, l1, seq = _build()
+    done = []
+    seq.store(ADDR, 4, lambda m, d: done.append(1))
+    _go(sim)
+    l2.send(MesifMsg.Inv, ADDR, "l1", "forward", requestor="peer")  # stale
+    _go(sim)
+    assert peer.of_type(MesifMsg.InvAck)
+    l2.send(MesifMsg.DataM, ADDR, "l1", "response", data=_data(), ack_count=0)
+    _go(sim)
+    assert done
+    assert l1.block_state(ADDR) is FL1State.M
+
+
+def test_f_upgrade_races_inv():
+    """F holder upgrades; a remote GetM wins: ack, fall back to IM_AD."""
+    sim, l2, peer, l1, seq = _build()
+    seq.load(ADDR)
+    _go(sim)
+    l2.send(MesifMsg.DataF, ADDR, "l1", "response", data=_data(1))
+    _go(sim)
+    done = []
+    seq.store(ADDR, 2, lambda m, d: done.append(d.read_byte(0)))
+    _go(sim)
+    assert l1.block_state(ADDR) is FL1State.SM_AD
+    l2.send(MesifMsg.Inv, ADDR, "l1", "forward", requestor="peer")
+    _go(sim)
+    assert l1.block_state(ADDR) is FL1State.IM_AD
+    peer.send(MesifMsg.DataM, ADDR, "l1", "response", data=_data(50), ack_count=0)
+    _go(sim)
+    assert done == [2]
+
+
+def test_upgrader_still_serves_f_forward():
+    """SM_AD still holds valid data and must serve a Fwd_GetS_F from an
+    older transaction."""
+    sim, l2, peer, l1, seq = _build()
+    seq.load(ADDR)
+    _go(sim)
+    l2.send(MesifMsg.DataF, ADDR, "l1", "response", data=_data(6))
+    _go(sim)
+    seq.store(ADDR, 7)
+    _go(sim)
+    assert l1.block_state(ADDR) is FL1State.SM_AD
+    l2.send(MesifMsg.Fwd_GetS_F, ADDR, "l1", "forward", requestor="peer")
+    _go(sim)
+    served = peer.of_type(MesifMsg.DataF)
+    assert served and served[0].data.read_byte(0) == 6
+
+
+def test_stale_messages_during_ack_collection():
+    """IM_A (data in hand, short of acks) can still see a stale Inv or a
+    stale F-forward thanks to silent eviction; both are answered without
+    disturbing the count."""
+    sim, l2, peer, l1, seq = _build()
+    done = []
+    seq.store(ADDR, 4, lambda m, d: done.append(1))
+    _go(sim)
+    l2.send(MesifMsg.DataM, ADDR, "l1", "response", data=_data(), ack_count=2)
+    _go(sim)
+    assert l1.block_state(ADDR) is FL1State.IM_A
+    l2.send(MesifMsg.Inv, ADDR, "l1", "forward", requestor="peer")  # stale
+    l2.send(MesifMsg.Fwd_GetS_F, ADDR, "l1", "forward", requestor="peer")  # stale
+    _go(sim)
+    assert peer.of_type(MesifMsg.InvAck)
+    assert l2.of_type(MesifMsg.FNack)
+    assert not done, "ack count must be undisturbed"
+    peer.send(MesifMsg.InvAck, ADDR, "l1", "response")
+    peer.send(MesifMsg.InvAck, ADDR, "l1", "response")
+    _go(sim)
+    assert done
+    assert l1.block_state(ADDR) is FL1State.M
+
+
+def test_owner_writeback_race_serves_dataf():
+    sim, l2, peer, l1, seq = _build()
+    seq.store(ADDR, 9)
+    _go(sim)
+    l2.send(MesifMsg.DataM, ADDR, "l1", "response", data=_data(), ack_count=0)
+    _go(sim)
+    seq.load(ADDR + 64 * 2)  # evict -> PutM
+    _go(sim)
+    assert l1.block_state(ADDR) is FL1State.MI_A
+    l2.send(MesifMsg.Fwd_GetS, ADDR, "l1", "forward", requestor="peer")
+    _go(sim)
+    served = peer.of_type(MesifMsg.DataF)
+    assert served and served[0].data.read_byte(0) == 9
+    assert l2.of_type(MesifMsg.CopyBack)[0].dirty
+    assert l1.block_state(ADDR) is FL1State.II_A
+    l2.send(MesifMsg.WBNack, ADDR, "l1", "forward")
+    _go(sim)
+    assert l1.block_state(ADDR) is FL1State.I

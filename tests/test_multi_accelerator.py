@@ -1,0 +1,123 @@
+"""Tests for multiple accelerators, each behind its own Crossing Guard.
+
+The paper: "There is one instance of Crossing Guard per accelerator in
+the system." Two independent accelerators must stay coherent with the
+CPUs AND each other — their only interaction path is through the host
+protocol via their respective XGs.
+"""
+
+import pytest
+
+from repro.host.config import AccelOrg, HostProtocol, SystemConfig
+from repro.host.system import build_system
+from repro.testing.invariants import check_all
+from repro.testing.random_tester import RandomTester
+from repro.xg.interface import XGVariant
+
+
+def _config(host=HostProtocol.MESI, levels=1, **kw):
+    return SystemConfig(
+        host=host,
+        org=AccelOrg.XG,
+        xg_variant=XGVariant.FULL_STATE,
+        n_accelerators=2,
+        n_cpus=1,
+        n_accel_cores=1,
+        accel_levels=levels,
+        **kw,
+    )
+
+
+def test_two_xgs_built():
+    system = build_system(_config())
+    assert len(system.xgs) == 2
+    assert len(system.error_logs) == 2
+    assert system.xgs[0].name == "xg" and system.xgs[1].name == "xg.1"
+    assert system.xg is system.xgs[0]
+    assert len(system.accel_seqs) == 2
+
+
+def test_hammer_counts_both_xgs_as_peers():
+    system = build_system(_config(host=HostProtocol.HAMMER))
+    assert sorted(system.directory.cache_names) == ["cpu_l1.0", "xg", "xg.1"]
+    assert all(xg.n_peers == 2 for xg in system.xgs)
+
+
+@pytest.mark.parametrize(
+    "host", [HostProtocol.MESI, HostProtocol.HAMMER], ids=["mesi", "hammer"]
+)
+def test_accel_to_accel_coherence_through_host(host):
+    system = build_system(_config(host=host))
+    a, b = system.accel_seqs
+    out = {}
+    a.store(0x6000, 111)
+    system.sim.run()
+    b.load(0x6000, lambda m, d: out.update(value=d.read_byte(0)))
+    system.sim.run()
+    assert out["value"] == 111
+    # and the write-back direction
+    b.store(0x6000, 99)
+    system.sim.run()
+    a.load(0x6000, lambda m, d: out.update(back=d.read_byte(0)))
+    system.sim.run()
+    assert out["back"] == 99
+    assert all(len(log) == 0 for log in system.error_logs)
+    check_all(system)
+
+
+@pytest.mark.parametrize("seed", range(2))
+@pytest.mark.parametrize(
+    "host", [HostProtocol.MESI, HostProtocol.HAMMER], ids=["mesi", "hammer"]
+)
+def test_two_accelerator_stress(host, seed):
+    config = _config(
+        host=host,
+        cpu_l1_sets=2,
+        cpu_l1_assoc=1,
+        shared_l2_sets=4,
+        shared_l2_assoc=2,
+        accel_l1_sets=2,
+        accel_l1_assoc=1,
+        randomize_latencies=True,
+        seed=seed,
+        deadlock_threshold=400_000,
+        accel_timeout=150_000,
+        mem_latency=30,
+    )
+    system = build_system(config)
+    blocks = [0x1000 + 64 * i for i in range(5)]
+    tester = RandomTester(
+        system.sim, system.sequencers, blocks, ops_target=2500, store_fraction=0.45
+    )
+    tester.run()
+    assert tester.loads_checked > 1000
+    assert all(len(log) == 0 for log in system.error_logs)
+    check_all(system)
+
+
+def test_two_accelerator_two_level_stress():
+    config = _config(
+        levels=2,
+        cpu_l1_sets=2,
+        cpu_l1_assoc=1,
+        shared_l2_sets=4,
+        shared_l2_assoc=2,
+        accel_l1_sets=2,
+        accel_l1_assoc=1,
+        accel_l2_sets=2,
+        accel_l2_assoc=2,
+        randomize_latencies=True,
+        seed=5,
+        deadlock_threshold=400_000,
+        accel_timeout=150_000,
+        mem_latency=30,
+    )
+    system = build_system(config)
+    assert len(system.accel_l2s) == 2
+    blocks = [0x1000 + 64 * i for i in range(5)]
+    tester = RandomTester(
+        system.sim, system.sequencers, blocks, ops_target=2000, store_fraction=0.45
+    )
+    tester.run()
+    assert all(len(log) == 0 for log in system.error_logs)
+    check_all(system)

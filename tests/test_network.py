@@ -1,0 +1,154 @@
+"""Unit tests for networks and message buffers."""
+
+import pytest
+
+from repro.sim.component import Component, MessageBuffer
+from repro.sim.message import Message
+from repro.sim.network import FixedLatency, Network, RandomLatency
+from repro.sim.simulator import Simulator
+
+
+class _Recorder(Component):
+    PORTS = ("req", "resp")
+
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.arrivals = []
+
+    def wakeup(self):
+        for port in self.PORTS:
+            while True:
+                msg = self.in_ports[port].pop(self.sim.tick)
+                if msg is None:
+                    break
+                self.arrivals.append((self.sim.tick, port, msg))
+
+
+def _mk(sim, ordered=False, latency=None):
+    net = Network(sim, latency or FixedLatency(3), ordered=ordered, name="t")
+    dst = _Recorder(sim, "dst")
+    net.attach(dst)
+    return net, dst
+
+
+def test_fixed_latency_delivery():
+    sim = Simulator()
+    net, dst = _mk(sim)
+    net.send(Message("a", 0, sender="src", dest="dst"), "req")
+    sim.run()
+    assert dst.arrivals[0][0] == 3
+
+
+def test_unknown_destination_raises():
+    sim = Simulator()
+    net, _dst = _mk(sim)
+    with pytest.raises(KeyError):
+        net.send(Message("a", 0, sender="src", dest="ghost"), "req")
+
+
+def test_unknown_port_raises():
+    sim = Simulator()
+    net, _dst = _mk(sim)
+    with pytest.raises(KeyError):
+        net.send(Message("a", 0, sender="src", dest="dst"), "bogus")
+
+
+def test_duplicate_endpoint_rejected():
+    sim = Simulator()
+    net, dst = _mk(sim)
+    with pytest.raises(ValueError):
+        net.attach(dst)
+
+
+def test_random_latency_within_bounds():
+    sim = Simulator(seed=7)
+    net, dst = _mk(sim, latency=RandomLatency(2, 9))
+    for i in range(50):
+        net.send(Message("a", 64 * i, sender="s", dest="dst"), "req")
+    sent_at = sim.tick
+    sim.run()
+    assert all(sent_at + 2 <= t <= sent_at + 9 for t, _p, _m in dst.arrivals)
+
+
+def test_ordered_lane_is_fifo_across_ports():
+    """The ordered accel link must serialize ALL messages per sender/dest
+    pair, even across virtual channels — the paper's Put-before-InvAck
+    ordering depends on it."""
+    sim = Simulator(seed=1)
+    net, dst = _mk(sim, ordered=True, latency=RandomLatency(1, 20))
+    sent = []
+    for i in range(30):
+        port = "req" if i % 2 else "resp"
+        msg = Message("m", 64 * i, sender="src", dest="dst")
+        sent.append(msg.uid)
+        net.send(msg, port)
+    sim.run()
+    received = [m.uid for _t, _p, m in dst.arrivals]
+    assert received == sent
+
+
+def test_ordered_lane_strictly_increasing_arrivals():
+    sim = Simulator()
+    net, dst = _mk(sim, ordered=True, latency=FixedLatency(1))
+    for i in range(5):
+        net.send(Message("m", 64 * i, sender="src", dest="dst"), "req")
+    sim.run()
+    ticks = [t for t, _p, _m in dst.arrivals]
+    assert ticks == sorted(set(ticks)), "arrivals must be strictly increasing"
+
+
+def test_unordered_lanes_independent():
+    sim = Simulator()
+    net, dst = _mk(sim, ordered=False, latency=FixedLatency(2))
+    net.send(Message("m", 0, sender="a", dest="dst"), "req")
+    net.send(Message("m", 64, sender="b", dest="dst"), "req")
+    sim.run()
+    assert [t for t, _p, _m in dst.arrivals] == [2, 2]
+
+
+def test_endpoint_delay_applies_both_directions():
+    sim = Simulator()
+    net, dst = _mk(sim, latency=FixedLatency(2))
+    net.set_endpoint_delay("dst", 10)
+    net.send(Message("m", 0, sender="src", dest="dst"), "req")
+    sim.run()
+    assert dst.arrivals[0][0] == 12
+
+
+def test_network_counts_messages_by_type():
+    sim = Simulator()
+    net, _dst = _mk(sim)
+    net.send(Message("ping", 0, sender="s", dest="dst"), "req")
+    net.send(Message("ping", 0, sender="s", dest="dst"), "req")
+    assert net.stats.get("messages") == 2
+    assert net.stats.get("msg.ping") == 2
+
+
+def test_message_buffer_visibility_and_order():
+    buf = MessageBuffer()
+    m1 = Message("a", 0)
+    m2 = Message("b", 0)
+    buf.enqueue(10, m1)
+    buf.enqueue(5, m2)  # out-of-order insert (unordered network)
+    assert buf.peek(4) is None
+    assert buf.peek(5) is m2
+    assert buf.pop(20) is m2
+    assert buf.pop(20) is m1
+
+
+def test_message_buffer_push_front():
+    buf = MessageBuffer()
+    m1 = Message("a", 0)
+    m2 = Message("b", 0)
+    buf.enqueue(1, m1)
+    buf.push_front(1, m2)
+    assert buf.pop(1) is m2
+
+
+def test_next_arrival_after_skips_visible():
+    buf = MessageBuffer()
+    buf.enqueue(5, Message("a", 0))
+    buf.enqueue(15, Message("b", 0))
+    assert buf.next_arrival_after(10) == 15
+    assert buf.next_arrival_after(15) is None
+    assert buf.next_arrival_tick() == 5

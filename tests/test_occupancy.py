@@ -1,0 +1,91 @@
+"""Tests for controller occupancy (per-message processing time)."""
+
+import pytest
+
+from repro.coherence.controller import CONSUMED, CoherenceController
+from repro.host.config import AccelOrg, HostProtocol, SystemConfig
+from repro.host.system import build_system
+from repro.sim.message import Message
+from repro.sim.simulator import Simulator
+from repro.testing.invariants import check_all
+from repro.testing.random_tester import RandomTester
+from repro.workloads.synthetic import PERF_WORKLOADS, run_drivers
+
+
+class _Counter(CoherenceController):
+    CONTROLLER_TYPE = "counter"
+    PORTS = ("inbox",)
+
+    def __init__(self, sim, name):
+        self.handled_at = []
+        super().__init__(sim, name)
+
+    def _build_transitions(self):
+        return
+
+    def handle_message(self, port, msg):
+        self.handled_at.append(self.sim.tick)
+        return CONSUMED
+
+
+def test_zero_occupancy_processes_same_tick():
+    sim = Simulator()
+    ctrl = _Counter(sim, "c")
+    for i in range(4):
+        ctrl.deliver("inbox", 5, Message("m", 64 * i, dest="c"))
+    sim.run()
+    assert ctrl.handled_at == [5, 5, 5, 5]
+
+
+def test_occupancy_serializes_processing():
+    sim = Simulator()
+    ctrl = _Counter(sim, "c")
+    ctrl.occupancy = 10
+    for i in range(4):
+        ctrl.deliver("inbox", 5, Message("m", 64 * i, dest="c"))
+    sim.run()
+    assert ctrl.handled_at == [5, 15, 25, 35]
+    assert ctrl.stats.get("busy_ticks") == 40
+
+
+def test_busy_gate_blocks_early_wakeups():
+    sim = Simulator()
+    ctrl = _Counter(sim, "c")
+    ctrl.occupancy = 20
+    ctrl.deliver("inbox", 5, Message("m", 0x0, dest="c"))
+    ctrl.deliver("inbox", 8, Message("m", 0x40, dest="c"))  # arrives mid-window
+    sim.run()
+    assert ctrl.handled_at == [5, 25]
+
+
+def test_directory_occupancy_slows_contended_workload():
+    ticks = {}
+    for occ in (0, 16):
+        config = SystemConfig(
+            host=HostProtocol.MESI, org=AccelOrg.XG, n_cpus=2, n_accel_cores=2,
+            seed=3, directory_occupancy=occ,
+        )
+        system = build_system(config)
+        ticks[occ] = run_drivers(
+            system.sim, PERF_WORKLOADS(scale=1)["shared_pingpong"](system)
+        )
+    assert ticks[16] > ticks[0] * 1.3
+
+
+def test_stress_correct_under_occupancy():
+    config = SystemConfig(
+        host=HostProtocol.HAMMER, org=AccelOrg.XG, n_cpus=2, n_accel_cores=2,
+        cpu_l1_sets=2, cpu_l1_assoc=1, shared_l2_sets=4, shared_l2_assoc=2,
+        accel_l1_sets=2, accel_l1_assoc=1, randomize_latencies=True, seed=11,
+        deadlock_threshold=600_000, accel_timeout=250_000, mem_latency=30,
+        directory_occupancy=5,
+    )
+    system = build_system(config)
+    tester = RandomTester(
+        system.sim, system.sequencers, [0x1000 + 64 * i for i in range(5)],
+        ops_target=2000, store_fraction=0.45,
+    )
+    tester.run()
+    assert tester.loads_checked > 800
+    assert len(system.error_log) == 0
+    check_all(system)

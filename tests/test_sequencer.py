@@ -1,0 +1,102 @@
+"""Unit tests for the CPU/accelerator sequencer."""
+
+import pytest
+
+from repro.host.cpu import Sequencer
+from repro.memory.datablock import DataBlock
+from repro.protocols.common import CpuOp
+from repro.sim.component import Component
+from repro.sim.simulator import Simulator
+
+
+class _EchoCache(Component):
+    """Completes every op after a fixed delay with a canned block."""
+
+    PORTS = ("mandatory",)
+
+    def __init__(self, sim, name, delay=5):
+        super().__init__(sim, name)
+        self.delay = delay
+        self.sequencers = {}
+
+    def attach_sequencer(self, sequencer):
+        self.sequencers[sequencer.name] = sequencer
+
+    def wakeup(self):
+        while True:
+            msg = self.in_ports["mandatory"].pop(self.sim.tick)
+            if msg is None:
+                return
+            data = DataBlock()
+            if msg.mtype is CpuOp.Store:
+                data.write_byte(msg.addr % 64, msg.value)
+            self.sim.schedule(
+                self.delay, self.sequencers[msg.sender].request_done, msg, data
+            )
+
+
+def _build(delay=5, **kw):
+    sim = Simulator()
+    cache = _EchoCache(sim, "cache", delay=delay)
+    seq = Sequencer(sim, "seq", **kw)
+    seq.attach(cache)
+    return sim, seq
+
+
+def test_load_completion_callback():
+    sim, seq = _build()
+    results = []
+    seq.load(0x1003, lambda msg, data: results.append(msg.addr))
+    sim.run()
+    assert results == [0x1003]
+    assert seq.drained()
+
+
+def test_store_value_passed_through():
+    sim, seq = _build()
+    seen = []
+    seq.store(0x1002, 77, lambda msg, data: seen.append(data.read_byte(2)))
+    sim.run()
+    assert seen == [77]
+
+
+def test_latency_recorded():
+    sim, seq = _build(delay=9)
+    seq.load(0x0)
+    sim.run()
+    hist = seq.stats.histogram("op_latency")
+    assert hist.count == 1
+    assert hist.min == 10  # issue_latency 1 + delay 9
+
+
+def test_response_latency_adds_to_completion():
+    sim, seq = _build(delay=9, response_latency=20)
+    done_at = []
+    seq.load(0x0, lambda m, d: done_at.append(sim.tick))
+    sim.run()
+    assert done_at == [30]
+
+
+def test_max_outstanding_enforced():
+    sim, seq = _build(max_outstanding=2)
+    seq.load(0x0)
+    seq.load(0x40)
+    assert not seq.can_issue()
+    with pytest.raises(RuntimeError):
+        seq.load(0x80)
+    sim.run()
+    assert seq.can_issue()
+
+
+def test_outstanding_ops_count_for_watchdog():
+    sim, seq = _build()
+    assert seq.oldest_pending_tick(0) is None
+    seq.load(0x0)
+    assert seq.oldest_pending_tick(0) == 0
+
+
+def test_unattached_sequencer_rejects_issue():
+    sim = Simulator()
+    seq = Sequencer(sim, "lonely")
+    with pytest.raises(RuntimeError):
+        seq.load(0x0)

@@ -1,0 +1,113 @@
+"""Tests for the customized streaming (prefetching) accelerator cache."""
+
+import pytest
+
+from repro.host.config import AccelOrg, HostProtocol, SystemConfig
+from repro.host.system import build_system
+from repro.testing.invariants import check_all
+from repro.testing.random_tester import RandomTester
+from repro.xg.interface import XGVariant
+
+
+def _build(depth=2, **kw):
+    defaults = dict(
+        host=HostProtocol.MESI, org=AccelOrg.XG, n_cpus=1, n_accel_cores=1,
+        accel_prefetch_depth=depth, seed=0,
+    )
+    defaults.update(kw)
+    return build_system(SystemConfig(**defaults))
+
+
+def _op(system, seq, kind, addr, value=None):
+    out = {}
+    if kind == "load":
+        seq.load(addr, lambda m, d: out.update(data=d))
+    else:
+        seq.store(addr, value)
+    system.sim.run()
+    return out.get("data")
+
+
+def test_prefetch_issued_on_demand_miss():
+    system = _build(depth=2)
+    _op(system, system.accel_seqs[0], "load", 0x40000)
+    l1 = system.accel_caches[0]
+    assert l1.stats.get("prefetches_issued") == 2
+    # the prefetched neighbors are now resident
+    from repro.accel.l1_single import AL1State
+
+    assert l1.block_state(0x40040) is not AL1State.I
+    assert l1.block_state(0x40080) is not AL1State.I
+
+
+def test_prefetched_block_hit_counted():
+    system = _build(depth=1)
+    accel = system.accel_seqs[0]
+    _op(system, accel, "load", 0x40000)
+    xg_msgs = system.xg.stats.get("xg_to_host_msgs")
+    data = _op(system, accel, "load", 0x40040)  # should hit the prefetch
+    l1 = system.accel_caches[0]
+    assert l1.stats.get("prefetch_hits") >= 1
+    # ...without any new host traffic for the demand access itself beyond
+    # the prefetch for the NEXT block
+    assert data is not None
+
+
+def test_prefetched_blocks_stay_coherent():
+    """A CPU store to a prefetched block must invalidate it like any
+    other copy — prefetching gives no license to read stale data."""
+    system = _build(depth=2)
+    accel = system.accel_seqs[0]
+    cpu = system.cpu_seqs[0]
+    _op(system, cpu, "store", 0x40040, 7)
+    _op(system, accel, "load", 0x40000)  # prefetches 0x40040 (value 7)
+    _op(system, cpu, "store", 0x40040, 9)  # invalidates the prefetched copy
+    data = _op(system, accel, "load", 0x40040)
+    assert data.read_byte(0) == 9
+    assert len(system.error_log) == 0
+    check_all(system)
+
+
+def test_prefetch_never_evicts_demand_data():
+    system = _build(depth=4, accel_l1_sets=1, accel_l1_assoc=2)
+    accel = system.accel_seqs[0]
+    _op(system, accel, "load", 0x40000)
+    from repro.accel.l1_single import AL1State
+
+    l1 = system.accel_caches[0]
+    assert l1.block_state(0x40000) is not AL1State.I, "demand block retained"
+
+
+def test_streaming_cache_under_random_stress():
+    config = SystemConfig(
+        host=HostProtocol.MESI, org=AccelOrg.XG, xg_variant=XGVariant.TRANSACTIONAL,
+        n_cpus=2, n_accel_cores=2, accel_prefetch_depth=2,
+        cpu_l1_sets=2, cpu_l1_assoc=1, shared_l2_sets=4, shared_l2_assoc=2,
+        accel_l1_sets=2, accel_l1_assoc=2,
+        randomize_latencies=True, seed=4, deadlock_threshold=300_000,
+        accel_timeout=100_000, mem_latency=30,
+    )
+    system = build_system(config)
+    tester = RandomTester(
+        system.sim, system.sequencers, [0x1000 + 64 * i for i in range(5)],
+        ops_target=2500, store_fraction=0.45,
+    )
+    tester.run()
+    assert tester.loads_checked > 1000
+    assert len(system.error_log) == 0
+    check_all(system)
+
+
+def test_prefetch_speedup_on_streaming():
+    from repro.workloads.synthetic import WorkloadDriver, run_drivers, streaming
+
+    ticks = {}
+    for depth in (0, 3):
+        system = _build(depth=depth, seed=9)
+        driver = WorkloadDriver(
+            system.sim, system.accel_seqs[0],
+            streaming(0x40000, 80, write_fraction=0.0, seed=1),
+            max_outstanding=2,
+        )
+        ticks[depth] = run_drivers(system.sim, [driver])
+    assert ticks[3] < ticks[0] * 0.7

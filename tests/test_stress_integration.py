@@ -1,0 +1,103 @@
+"""Integration stress: random checked traffic over every configuration.
+
+The paper's Section 4.1 methodology at CI scale: tiny caches, few
+addresses, random message latencies. After draining, the whole-system
+coherence invariants must hold (quiescence, single writer, value
+agreement, XG mirror consistency).
+"""
+
+import pytest
+
+from repro.eval.experiments import stress_configs
+from repro.host.config import AccelOrg, HostProtocol, SystemConfig
+from repro.host.system import build_system
+from repro.testing.invariants import check_all
+from repro.testing.random_tester import RandomTester
+from repro.xg.interface import XGVariant
+
+BLOCKS = [0x1000 + 64 * i for i in range(5)]
+
+
+def _run(config, ops=1200):
+    system = build_system(config)
+    tester = RandomTester(
+        system.sim, system.sequencers, BLOCKS, ops_target=ops, store_fraction=0.45
+    )
+    tester.run()
+    return system, tester
+
+
+@pytest.mark.parametrize("seed", range(2))
+@pytest.mark.parametrize(
+    "host", [HostProtocol.MESI, HostProtocol.HAMMER], ids=["mesi", "hammer"]
+)
+@pytest.mark.parametrize(
+    "variant",
+    [XGVariant.FULL_STATE, XGVariant.TRANSACTIONAL],
+    ids=["full", "txn"],
+)
+@pytest.mark.parametrize("levels", [1, 2], ids=["L1", "L2"])
+def test_xg_configs_stress(seed, host, variant, levels):
+    config = [
+        c
+        for c in stress_configs(seed)
+        if c.host is host
+        and c.org is AccelOrg.XG
+        and c.xg_variant is variant
+        and c.accel_levels == levels
+    ][0]
+    system, tester = _run(config)
+    assert tester.loads_checked > 0
+    assert len(system.error_log) == 0, list(system.error_log)
+    check_all(system)
+
+
+@pytest.mark.parametrize("seed", range(2))
+@pytest.mark.parametrize(
+    "host", [HostProtocol.MESI, HostProtocol.HAMMER], ids=["mesi", "hammer"]
+)
+@pytest.mark.parametrize(
+    "org", [AccelOrg.ACCEL_SIDE, AccelOrg.HOST_SIDE], ids=["accelside", "hostside"]
+)
+def test_baseline_configs_stress(seed, host, org):
+    config = [c for c in stress_configs(seed) if c.host is host and c.org is org][0]
+    system, tester = _run(config)
+    assert tester.loads_checked > 0
+    check_all(system)
+
+
+def test_stress_is_deterministic():
+    """Same seed, same config => identical final tick and check counts."""
+
+    def one():
+        config = stress_configs(3)[4]  # an XG config
+        system, tester = _run(config, ops=800)
+        return system.sim.tick, tester.loads_checked, tester.stores_committed
+
+    assert one() == one()
+
+
+def test_larger_campaign_mesi_xg_full():
+    """A longer single-config run for deeper transition interleavings."""
+    config = SystemConfig(
+        host=HostProtocol.MESI,
+        org=AccelOrg.XG,
+        xg_variant=XGVariant.FULL_STATE,
+        n_cpus=2,
+        n_accel_cores=2,
+        cpu_l1_sets=2,
+        cpu_l1_assoc=1,
+        shared_l2_sets=4,
+        shared_l2_assoc=2,
+        accel_l1_sets=2,
+        accel_l1_assoc=1,
+        randomize_latencies=True,
+        seed=99,
+        deadlock_threshold=400_000,
+        accel_timeout=150_000,
+        mem_latency=30,
+    )
+    system, tester = _run(config, ops=6000)
+    assert tester.loads_checked > 3000
+    assert len(system.error_log) == 0
+    check_all(system)

@@ -1,0 +1,118 @@
+"""Tests for the exhaustive interface model checker."""
+
+import pytest
+
+from repro.verify.model import (
+    B,
+    DATAM,
+    DIRTYWB,
+    E,
+    GETS,
+    I,
+    INV,
+    INVACK,
+    M,
+    PUTM,
+    S,
+    InterfaceModel,
+    State,
+    VerificationError,
+    explore,
+)
+
+
+def test_full_exploration_passes():
+    stats = explore()
+    assert stats["states"] > 30
+    assert stats["transitions"] > stats["states"]
+
+
+def test_held_only_probes_subset():
+    all_probes = explore(allow_probe_when_absent=True)
+    held_only = explore(allow_probe_when_absent=False)
+    assert held_only["states"] <= all_probes["states"]
+
+
+def test_initial_state_is_quiescent():
+    assert State().quiescent
+    assert not State(accel=B, b_reason="get").quiescent
+
+
+def test_accel_table1_invalidate_rows():
+    model = InterfaceModel()
+    for accel, reply in ((M, DIRTYWB), (S, INVACK), (I, INVACK)):
+        nxt = model._accel_receive(State(accel=accel, mirror="O"), INV)
+        assert nxt.a2x[-1] == reply
+        assert nxt.accel == (accel if accel == I else I)
+    busy = model._accel_receive(State(accel=B, b_reason="get"), INV)
+    assert busy.accel == B and busy.a2x[-1] == INVACK
+
+
+def test_unspecified_reception_detected():
+    model = InterfaceModel()
+    with pytest.raises(VerificationError):
+        model._accel_receive(State(accel=S), DATAM)  # data with no request
+
+
+def test_g1b_double_get_detected():
+    model = InterfaceModel()
+    with pytest.raises(VerificationError):
+        model._xg_receive_request(State(accel=B, b_reason="get", xg_get=GETS), GETS)
+
+
+def test_g2a_wrong_response_detected():
+    model = InterfaceModel()
+    state = State(accel=I, mirror="O", xg_probe=("out", True))
+    with pytest.raises(VerificationError):
+        model._xg_receive_response(state, INVACK)
+
+
+def test_race_resolution_path():
+    """PutM crossing an Invalidate: consumed as the answer, then the
+    trailing InvAck closes the probe."""
+    model = InterfaceModel()
+    state = State(accel=B, b_reason="put", mirror="O",
+                  xg_probe=("out", True), a2x=(PUTM,))
+    after_put = model._xg_receive_request(state.replace(a2x=()), PUTM)
+    assert after_put.xg_probe == "race"
+    assert after_put.x2a[-1] == "WBAck"
+    closed = model._xg_receive_response(after_put, INVACK)
+    assert closed.xg_probe is None
+
+
+def test_quiescent_mirror_mismatch_detected():
+    model = InterfaceModel()
+    with pytest.raises(VerificationError):
+        model.check(State(accel=E, mirror="S"))
+
+
+def test_broken_accelerator_model_caught_by_exploration():
+    """Sanity: if the Table 1 automaton 'forgot' the B+Invalidate row,
+    exploration must fail — the checker has teeth."""
+
+    class BrokenModel(InterfaceModel):
+        def _accel_receive(self, state, msg):
+            if msg == INV and state.accel == B:
+                # wrong: silently drop instead of acking
+                return state
+            return super()._accel_receive(state, msg)
+
+    from collections import deque
+    model = BrokenModel()
+    seen = {State().key()}
+    frontier = deque([State()])
+    with pytest.raises(VerificationError):
+        steps = 0
+        while frontier:
+            state = frontier.popleft()
+            model.check(state)
+            succs = model.successors(state)
+            if not succs and not state.quiescent:
+                raise VerificationError("deadlock", state)
+            for _label, nxt in succs:
+                if nxt.key() not in seen:
+                    seen.add(nxt.key())
+                    frontier.append(nxt)
+            steps += 1
+            if steps > 100_000:
+                break

@@ -1,0 +1,98 @@
+"""Tests for the synthetic workload generators and the driver."""
+
+import pytest
+
+from repro.host.config import AccelOrg, HostProtocol, SystemConfig
+from repro.host.system import build_system
+from repro.workloads.synthetic import (
+    LOAD,
+    STORE,
+    PERF_WORKLOADS,
+    WorkloadDriver,
+    blocked_decode,
+    graph_walk,
+    run_drivers,
+    shared_pingpong,
+    streaming,
+    write_coalesce,
+)
+
+
+def test_streaming_is_sequential():
+    ops = list(streaming(0x1000, 10, write_fraction=0.0))
+    assert all(kind == LOAD for kind, _a, _v in ops)
+    addrs = [a for _k, a, _v in ops]
+    assert addrs == [0x1000 + 64 * i for i in range(10)]
+
+
+def test_streaming_write_fraction():
+    ops = list(streaming(0x1000, 200, write_fraction=0.5, seed=1))
+    stores = [op for op in ops if op[0] == STORE]
+    assert 60 <= len(stores) <= 140
+
+
+def test_blocked_decode_stays_in_tile():
+    tile_blocks = 4
+    ops = list(blocked_decode(0x0, num_tiles=3, tile_blocks=tile_blocks, seed=2))
+    per_tile = len(ops) // 3
+    first_tile_ops = ops[:per_tile]
+    assert all(a < tile_blocks * 64 for _k, a, _v in first_tile_ops)
+
+
+def test_graph_walk_within_footprint():
+    ops = list(graph_walk(0x8000, footprint_blocks=16, steps=100, seed=3))
+    assert len(ops) == 100
+    assert all(0x8000 <= a < 0x8000 + 16 * 64 for _k, a, _v in ops)
+
+
+def test_write_coalesce_bursts():
+    ops = list(write_coalesce(0x0, num_blocks=2, writes_per_block=8, seed=0))
+    stores = [op for op in ops if op[0] == STORE]
+    assert len(stores) == 16
+
+
+def test_pingpong_roles_differ():
+    producer = list(shared_pingpong(0x0, 4, 50, role="producer", seed=0))
+    consumer = list(shared_pingpong(0x0, 4, 50, role="consumer", seed=0))
+    assert sum(1 for k, _a, _v in producer if k == STORE) > sum(
+        1 for k, _a, _v in consumer if k == STORE
+    )
+
+
+def test_generators_deterministic_by_seed():
+    a = list(blocked_decode(0x0, 5, seed=9))
+    b = list(blocked_decode(0x0, 5, seed=9))
+    c = list(blocked_decode(0x0, 5, seed=10))
+    assert a == b != c
+
+
+def test_driver_completes_stream():
+    system = build_system(SystemConfig(org=AccelOrg.ACCEL_SIDE, n_accel_cores=1))
+    stream = streaming(0x4000, 20, seed=0)
+    driver = WorkloadDriver(system.sim, system.accel_seqs[0], stream, max_outstanding=3)
+    run_drivers(system.sim, [driver])
+    assert driver.finished
+    assert driver.completed == driver.issued > 0
+
+
+def test_driver_respects_outstanding_limit():
+    system = build_system(SystemConfig(org=AccelOrg.ACCEL_SIDE))
+    driver = WorkloadDriver(
+        system.sim, system.accel_seqs[0], streaming(0x4000, 50), max_outstanding=2
+    )
+    driver.start()
+    assert driver.issued == 2
+    system.sim.run()
+    assert driver.completed == driver.issued
+
+
+def test_perf_workloads_complete_on_xg_config():
+    system = build_system(
+        SystemConfig(org=AccelOrg.XG, host=HostProtocol.MESI, n_cpus=2, n_accel_cores=2)
+    )
+    builder = PERF_WORKLOADS(scale=1)["graph_walk"]
+    drivers = builder(system)
+    ticks = run_drivers(system.sim, drivers)
+    assert ticks > 0
+    assert all(d.finished for d in drivers)
+    assert len(system.error_log) == 0

@@ -1,0 +1,268 @@
+"""Unit tests for Crossing Guard's Figure 1 guarantees (G0-G2c).
+
+A RawAgent plays the accelerator (sending scripted/illegal messages) and
+another plays the MESI L2, so each guarantee's enforcement is observable
+message by message.
+"""
+
+import pytest
+
+from repro.memory.datablock import DataBlock
+from repro.protocols.mesi.messages import MesiMsg
+from repro.sim.network import FixedLatency, Network
+from repro.sim.simulator import Simulator
+from repro.xg.errors import Guarantee
+from repro.xg.interface import AccelMsg, XGVariant
+from repro.xg.mesi_xg import MesiCrossingGuard
+from repro.xg.permissions import PagePermission, PermissionTable
+
+from tests.helpers import RawAgent
+
+ADDR = 0x4000
+
+
+def _build(variant=XGVariant.FULL_STATE, default_perm=PagePermission.READ_WRITE,
+           accel_timeout=500):
+    sim = Simulator(seed=0)
+    host_net = Network(sim, FixedLatency(1), name="host")
+    accel_net = Network(sim, FixedLatency(1), ordered=True, name="accel")
+    permissions = PermissionTable(default=default_perm)
+    xg = MesiCrossingGuard(
+        sim, "xg", host_net, accel_net, "l2",
+        variant=variant, permissions=permissions, accel_timeout=accel_timeout,
+    )
+    host_net.attach(xg)
+    accel_net.attach(xg)
+    l2 = RawAgent(sim, "l2", host_net)
+    RawAgent(sim, "l1.peer", host_net)  # requestor target for probes
+    accel = RawAgent(sim, "accel", accel_net)
+    xg.attach_accelerator("accel")
+    return sim, xg, l2, accel
+
+
+def _block(value=0):
+    data = DataBlock()
+    data.write_byte(0, value)
+    return data
+
+
+def _accel_send(accel, mtype, addr=ADDR, port="accel_request", **kw):
+    accel.send(mtype, addr, "xg", port, **kw)
+
+
+def _step(sim, ticks=50):
+    """Advance a bounded window so armed XG timeouts do not fire."""
+    sim.run(max_ticks=sim.tick + ticks, final_check=False)
+
+
+def test_gets_forwarded_and_grant_returned():
+    sim, xg, l2, accel = _build()
+    _accel_send(accel, AccelMsg.GetS)
+    sim.run()
+    assert l2.of_type(MesiMsg.GetS)
+    l2.send(MesiMsg.DataE, ADDR, "xg", "response", data=_block(5))
+    sim.run()
+    grants = accel.of_type(AccelMsg.DataE)
+    assert grants and grants[0].data.read_byte(0) == 5
+    assert l2.of_type(MesiMsg.UnblockX), "XG must unblock the directory"
+    assert xg.mirror_entry(ADDR).accel_state == "O"
+    assert len(xg.error_log) == 0
+
+
+def test_g0a_read_blocked_without_permission():
+    sim, xg, l2, accel = _build(default_perm=PagePermission.NONE)
+    _accel_send(accel, AccelMsg.GetS)
+    sim.run()
+    assert not l2.received, "request must not reach the host"
+    assert xg.error_log.count(Guarantee.G0A_READ_PERMISSION) == 1
+
+
+def test_g0b_getm_blocked_on_readonly_page():
+    sim, xg, l2, accel = _build(default_perm=PagePermission.READ)
+    _accel_send(accel, AccelMsg.GetM)
+    sim.run()
+    assert not l2.received
+    assert xg.error_log.count(Guarantee.G0B_WRITE_PERMISSION) == 1
+
+
+def test_g0b_full_state_retains_exclusive_grant_on_readonly_page():
+    """Full State XG keeps ownership of a read-only block the host granted
+    exclusively, giving the accelerator only DataS (Section 2.3.1)."""
+    sim, xg, l2, accel = _build(default_perm=PagePermission.READ)
+    _accel_send(accel, AccelMsg.GetS)
+    sim.run()
+    l2.send(MesiMsg.DataE, ADDR, "xg", "response", data=_block(9))
+    sim.run()
+    assert accel.of_type(AccelMsg.DataS), "accel must never own a read-only block"
+    assert not accel.of_type(AccelMsg.DataE)
+    entry = xg.mirror_entry(ADDR)
+    assert entry.retained_data is not None
+    # A later data-needing probe is served from the retained copy.
+    l2.send(MesiMsg.Fwd_GetM, ADDR, "xg", "forward", requestor="l1.peer")
+    _step(sim)
+    # accel (S) was invalidated and acked; XG supplied the data itself
+    assert accel.of_type(AccelMsg.Invalidate)
+    _accel_send(accel, AccelMsg.InvAck, port="accel_response")
+    _step(sim)
+    peer = sim.component("l1.peer")
+    data_out = peer.of_type(MesiMsg.DataM)
+    assert data_out
+    assert data_out[0].data.read_byte(0) == 9
+    assert len(xg.error_log) == 0, "a correct accelerator must cause no errors"
+
+
+def test_g1b_second_request_while_pending_reported():
+    sim, xg, l2, accel = _build()
+    _accel_send(accel, AccelMsg.GetS)
+    _accel_send(accel, AccelMsg.GetS)
+    sim.run()
+    assert xg.error_log.count(Guarantee.G1B_TRANSIENT_REQUEST) == 1
+    assert len(l2.of_type(MesiMsg.GetS)) == 1, "only the first reaches the host"
+
+
+def test_g1a_put_without_block_blocked_full_state():
+    sim, xg, l2, accel = _build()
+    _accel_send(accel, AccelMsg.PutM, data=_block(1), dirty=True)
+    sim.run()
+    assert xg.error_log.count(Guarantee.G1A_STABLE_REQUEST) == 1
+    assert not l2.of_type(MesiMsg.PutM)
+
+
+def test_g1a_unchecked_transactional_forwards_to_tolerant_host():
+    """Transactional XG cannot check stable state; the Put reaches the
+    host, which must tolerate it (Section 2.3.2)."""
+    sim, xg, l2, accel = _build(variant=XGVariant.TRANSACTIONAL)
+    _accel_send(accel, AccelMsg.PutM, data=_block(1), dirty=True)
+    sim.run()
+    assert accel.of_type(AccelMsg.WBAck)
+    assert l2.of_type(MesiMsg.PutM), "transactional XG forwards; host Nacks"
+    l2.send(MesiMsg.WBNack, ADDR, "xg", "forward")
+    sim.run()  # XG absorbs the Nack
+
+
+def test_g2b_response_without_request_reported():
+    sim, xg, l2, accel = _build()
+    _accel_send(accel, AccelMsg.InvAck, port="accel_response")
+    sim.run()
+    assert xg.error_log.count(Guarantee.G2B_TRANSIENT_RESPONSE) == 1
+
+
+def test_g2b_request_on_response_channel_reported():
+    sim, xg, l2, accel = _build()
+    _accel_send(accel, AccelMsg.GetS, port="accel_response")
+    sim.run()
+    assert xg.error_log.count(Guarantee.G2B_TRANSIENT_RESPONSE) == 1
+    assert not l2.received
+
+
+def _grant_ownership(sim, xg, l2, accel, value=7):
+    _accel_send(accel, AccelMsg.GetM)
+    sim.run()
+    l2.send(MesiMsg.DataM, ADDR, "xg", "response", data=_block(value), ack_count=0)
+    sim.run()
+    assert accel.of_type(AccelMsg.DataM)
+
+
+def test_g2a_invack_from_owner_corrected_to_zero_writeback():
+    """Paper: 'if the accelerator owns a block but responds to an
+    Invalidate with an InvAck, Crossing Guard will send a Writeback of a
+    zero block instead.'"""
+    sim, xg, l2, accel = _build()
+    _grant_ownership(sim, xg, l2, accel)
+    l2.send(MesiMsg.Fwd_GetM, ADDR, "xg", "forward", requestor="l1.peer")
+    _step(sim)
+    assert accel.of_type(AccelMsg.Invalidate)
+    _accel_send(accel, AccelMsg.InvAck, port="accel_response")  # WRONG: it owns it
+    _step(sim)
+    assert xg.error_log.count(Guarantee.G2A_STABLE_RESPONSE) == 1
+    peer = sim.component("l1.peer")
+    data_out = peer.of_type(MesiMsg.DataM)
+    assert data_out and data_out[0].data.is_zero(), "zero block substituted"
+
+
+def test_g2a_writeback_from_nonowner_corrected_full_state():
+    sim, xg, l2, accel = _build()
+    # accel has only S
+    _accel_send(accel, AccelMsg.GetS)
+    sim.run()
+    l2.send(MesiMsg.DataS, ADDR, "xg", "response", data=_block(3))
+    sim.run()
+    l2.send(MesiMsg.Inv, ADDR, "xg", "forward", requestor="l1.peer")
+    _step(sim)
+    _accel_send(
+        accel, AccelMsg.DirtyWB, port="accel_response", data=_block(66), dirty=True
+    )  # WRONG: it is only a sharer
+    _step(sim)
+    assert xg.error_log.count(Guarantee.G2A_STABLE_RESPONSE) == 1
+    peer = sim.component("l1.peer")
+    assert peer.of_type(MesiMsg.InvAck), "corrected to the ack the host expects"
+    assert not l2.of_type(MesiMsg.CopyBack), "bogus data must be discarded"
+
+
+def test_g2c_timeout_answers_on_accels_behalf():
+    sim, xg, l2, accel = _build(accel_timeout=200)
+    _grant_ownership(sim, xg, l2, accel)
+    l2.send(MesiMsg.Fwd_GetM, ADDR, "xg", "forward", requestor="l1.peer")
+    sim.run()  # accel never answers the Invalidate; timeout fires
+    assert xg.error_log.count(Guarantee.G2C_TIMEOUT) == 1
+    peer = sim.component("l1.peer")
+    data_out = peer.of_type(MesiMsg.DataM)
+    assert data_out and data_out[0].data.is_zero()
+
+
+def test_late_response_after_timeout_is_g2b():
+    sim, xg, l2, accel = _build(accel_timeout=200)
+    _grant_ownership(sim, xg, l2, accel)
+    l2.send(MesiMsg.Fwd_GetM, ADDR, "xg", "forward", requestor="l1.peer")
+    sim.run()
+    assert xg.error_log.count(Guarantee.G2C_TIMEOUT) == 1
+    _accel_send(accel, AccelMsg.DirtyWB, port="accel_response", data=_block(1), dirty=True)
+    sim.run()
+    assert xg.error_log.count(Guarantee.G2B_TRANSIENT_RESPONSE) == 1
+    peer = sim.component("l1.peer")
+    assert len(peer.of_type(MesiMsg.DataM)) == 1, "host must not see a second response"
+
+
+def test_put_vs_invalidate_race_resolved_from_put():
+    """The one legal race (Section 2.1): the Put's data answers the probe
+    and the trailing InvAck is absorbed without an error."""
+    sim, xg, l2, accel = _build()
+    _grant_ownership(sim, xg, l2, accel, value=7)
+    l2.send(MesiMsg.Fwd_GetM, ADDR, "xg", "forward", requestor="l1.peer")
+    _step(sim)
+    assert accel.of_type(AccelMsg.Invalidate)
+    # The accel's PutM crossed the Invalidate (sent before seeing it)...
+    _accel_send(accel, AccelMsg.PutM, data=_block(7), dirty=True)
+    # ...and per Table 1 it answers the Invalidate from B with an InvAck.
+    _accel_send(accel, AccelMsg.InvAck, port="accel_response")
+    _step(sim)
+    assert accel.of_type(AccelMsg.WBAck)
+    peer = sim.component("l1.peer")
+    data_out = peer.of_type(MesiMsg.DataM)
+    assert data_out and data_out[0].data.read_byte(0) == 7
+    assert len(xg.error_log) == 0
+    assert xg.tbes.lookup(ADDR) is None, "probe fully closed"
+
+
+def test_rate_limiter_throttles_requests():
+    from repro.xg.rate_limiter import RateLimiter
+
+    sim, xg, l2, accel = _build()
+    xg.rate_limiter = RateLimiter(rate=1, period=1000, burst=1)
+    _accel_send(accel, AccelMsg.GetS, addr=0x4000)
+    _accel_send(accel, AccelMsg.GetS, addr=0x8000)
+    sim.run(max_ticks=500, final_check=False)
+    assert len(l2.of_type(MesiMsg.GetS)) == 1
+    assert xg.stats.get("rate_limited") >= 1
+
+
+def test_disabled_accelerator_requests_dropped():
+    sim, xg, l2, accel = _build()
+    xg.error_log.disable_after = 1
+    _accel_send(accel, AccelMsg.InvAck, port="accel_response")  # 1st violation
+    sim.run()
+    assert xg.error_log.accel_disabled
+    _accel_send(accel, AccelMsg.GetS)
+    sim.run()
+    assert not l2.of_type(MesiMsg.GetS)
+    assert xg.stats.get("dropped_disabled") == 1

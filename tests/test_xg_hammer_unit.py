@@ -1,0 +1,223 @@
+"""Directed unit tests for HammerCrossingGuard: RawAgents play the
+directory, a peer cache, and the accelerator."""
+
+import pytest
+
+from repro.memory.datablock import DataBlock
+from repro.protocols.hammer.messages import HammerMsg
+from repro.sim.network import FixedLatency, Network
+from repro.sim.simulator import Simulator
+from repro.xg.errors import Guarantee
+from repro.xg.hammer_xg import HammerCrossingGuard
+from repro.xg.interface import AccelMsg, XGVariant
+from repro.xg.permissions import PagePermission, PermissionTable
+
+from tests.helpers import RawAgent
+
+ADDR = 0x5000
+
+
+def _build(variant=XGVariant.FULL_STATE, default_perm=PagePermission.READ_WRITE,
+           suppress_puts=False, n_peers=2):
+    sim = Simulator(seed=0)
+    host_net = Network(sim, FixedLatency(1), name="host")
+    accel_net = Network(sim, FixedLatency(1), ordered=True, name="accel")
+    xg = HammerCrossingGuard(
+        sim, "xg", host_net, accel_net, "dir", n_peers,
+        variant=variant,
+        permissions=PermissionTable(default=default_perm),
+        accel_timeout=100_000,
+        suppress_puts=suppress_puts,
+    )
+    host_net.attach(xg)
+    accel_net.attach(xg)
+    directory = RawAgent(sim, "dir", host_net)
+    peer = RawAgent(sim, "peer", host_net)
+    accel = RawAgent(sim, "accel", accel_net)
+    xg.attach_accelerator("accel")
+    return sim, xg, directory, peer, accel
+
+
+def _block(value=0):
+    data = DataBlock()
+    data.write_byte(0, value)
+    return data
+
+
+def _go(sim):
+    sim.run(max_ticks=sim.tick + 100, final_check=False)
+
+
+def test_get_counts_all_responses_then_grants():
+    sim, xg, directory, peer, accel = _build(n_peers=2)
+    accel.send(AccelMsg.GetS, ADDR, "xg", "accel_request")
+    _go(sim)
+    assert directory.of_type(HammerMsg.GetS)
+    peer.send(HammerMsg.PeerAck, ADDR, "xg", "response")
+    peer.send(HammerMsg.PeerAck, ADDR, "xg", "response")
+    _go(sim)
+    assert not accel.of_type(AccelMsg.DataE), "memory response still missing"
+    directory.send(HammerMsg.MemData, ADDR, "xg", "response", data=_block(5))
+    _go(sim)
+    grants = accel.of_type(AccelMsg.DataE)  # no sharing hints -> E
+    assert grants and grants[0].data.read_byte(0) == 5
+    assert directory.of_type(HammerMsg.UnblockE)
+
+
+def test_shared_hint_grants_s():
+    sim, xg, directory, peer, accel = _build(n_peers=1)
+    accel.send(AccelMsg.GetS, ADDR, "xg", "accel_request")
+    _go(sim)
+    peer.send(HammerMsg.PeerAck, ADDR, "xg", "response", shared_hint=True)
+    directory.send(HammerMsg.MemData, ADDR, "xg", "response", data=_block())
+    _go(sim)
+    assert accel.of_type(AccelMsg.DataS)
+    assert directory.of_type(HammerMsg.UnblockS)
+
+
+def test_transactional_uses_gets_only_on_readonly_page():
+    sim, xg, directory, peer, accel = _build(
+        variant=XGVariant.TRANSACTIONAL, default_perm=PagePermission.READ, n_peers=1
+    )
+    accel.send(AccelMsg.GetS, ADDR, "xg", "accel_request")
+    _go(sim)
+    assert directory.of_type(HammerMsg.GetS_Only)
+    peer.send(HammerMsg.PeerAck, ADDR, "xg", "response")
+    directory.send(HammerMsg.MemData, ADDR, "xg", "response", data=_block())
+    _go(sim)
+    assert accel.of_type(AccelMsg.DataS), "GetS_Only must cap the grant at S"
+
+
+def test_two_phase_writeback_for_accel_putm():
+    sim, xg, directory, peer, accel = _build(n_peers=1)
+    # grant M first
+    accel.send(AccelMsg.GetM, ADDR, "xg", "accel_request")
+    _go(sim)
+    peer.send(HammerMsg.PeerAck, ADDR, "xg", "response")
+    directory.send(HammerMsg.MemData, ADDR, "xg", "response", data=_block())
+    _go(sim)
+    assert accel.of_type(AccelMsg.DataM)
+    # accel writes back
+    accel.send(AccelMsg.PutM, ADDR, "xg", "accel_request", data=_block(9), dirty=True)
+    _go(sim)
+    assert accel.of_type(AccelMsg.WBAck), "accel acked immediately"
+    puts = directory.of_type(HammerMsg.PutM)
+    assert puts and puts[0].data is None, "phase 1 has no data"
+    directory.send(HammerMsg.WBAck, ADDR, "xg", "forward")
+    _go(sim)
+    wbdata = directory.of_type(HammerMsg.WBData)
+    assert wbdata and wbdata[0].data.read_byte(0) == 9 and wbdata[0].dirty
+
+
+def test_puts_forwarded_or_suppressed():
+    for suppress, expect in ((False, 1), (True, 0)):
+        sim, xg, directory, peer, accel = _build(n_peers=1, suppress_puts=suppress)
+        accel.send(AccelMsg.GetS, ADDR, "xg", "accel_request")
+        _go(sim)
+        peer.send(HammerMsg.PeerAck, ADDR, "xg", "response", shared_hint=True)
+        directory.send(HammerMsg.MemData, ADDR, "xg", "response", data=_block())
+        _go(sim)
+        accel.send(AccelMsg.PutS, ADDR, "xg", "accel_request")
+        _go(sim)
+        assert accel.of_type(AccelMsg.WBAck)
+        assert len(directory.of_type(HammerMsg.PutS)) == expect
+
+
+def test_broadcast_probe_for_absent_block_answered_locally():
+    """Full State XG answers probes for blocks the accel does not hold
+    without consulting it — no accel-side message at all."""
+    sim, xg, directory, peer, accel = _build()
+    directory.send(HammerMsg.Fwd_GetM, ADDR, "xg", "forward", requestor="peer")
+    _go(sim)
+    assert peer.of_type(HammerMsg.PeerAck)
+    assert not accel.received, "accelerator never consulted"
+
+
+def test_no_permission_probe_closes_side_channel_transactional():
+    sim, xg, directory, peer, accel = _build(
+        variant=XGVariant.TRANSACTIONAL, default_perm=PagePermission.NONE
+    )
+    directory.send(HammerMsg.Fwd_GetS, ADDR, "xg", "forward", requestor="peer")
+    _go(sim)
+    assert peer.of_type(HammerMsg.PeerAck)
+    assert not accel.received, "no-permission blocks must not leak probes"
+
+
+def test_accel_shared_block_acked_with_hint_no_invalidate():
+    sim, xg, directory, peer, accel = _build(n_peers=1)
+    accel.send(AccelMsg.GetS, ADDR, "xg", "accel_request")
+    _go(sim)
+    peer.send(HammerMsg.PeerAck, ADDR, "xg", "response", shared_hint=True)
+    directory.send(HammerMsg.MemData, ADDR, "xg", "response", data=_block())
+    _go(sim)
+    before = len(accel.received)
+    directory.send(HammerMsg.Fwd_GetS, ADDR, "xg", "forward", requestor="peer")
+    _go(sim)
+    acks = [m for m in peer.of_type(HammerMsg.PeerAck) if m.shared_hint]
+    assert acks, "sharer hint must be set"
+    assert len(accel.received) == before, "a GetS does not disturb a sharer"
+
+
+def test_owner_gets_probe_relinquishes_ownership():
+    """Section 3.2.1: Fwd_GetS to an accel-owned block -> invalidate the
+    accel, forward the dirty data, then Put the block back."""
+    sim, xg, directory, peer, accel = _build(n_peers=1)
+    accel.send(AccelMsg.GetM, ADDR, "xg", "accel_request")
+    _go(sim)
+    peer.send(HammerMsg.PeerAck, ADDR, "xg", "response")
+    directory.send(HammerMsg.MemData, ADDR, "xg", "response", data=_block())
+    _go(sim)
+    directory.send(HammerMsg.Fwd_GetS, ADDR, "xg", "forward", requestor="peer")
+    _go(sim)
+    assert accel.of_type(AccelMsg.Invalidate)
+    accel.send(AccelMsg.DirtyWB, ADDR, "xg", "accel_response", data=_block(7), dirty=True)
+    _go(sim)
+    data_out = peer.of_type(HammerMsg.PeerData)
+    assert data_out and data_out[0].data.read_byte(0) == 7 and data_out[0].shared_hint
+    # the relinquish writeback
+    puts = directory.of_type(HammerMsg.PutM)
+    assert puts, "XG must hand ownership back (no O in the interface)"
+    directory.send(HammerMsg.WBAck, ADDR, "xg", "forward")
+    _go(sim)
+    wbdata = directory.of_type(HammerMsg.WBData)
+    assert wbdata and wbdata[0].data.read_byte(0) == 7
+    assert xg.tbes.lookup(ADDR) is None
+
+
+def test_stale_writeback_probe_answers_then_nack_absorbed():
+    sim, xg, directory, peer, accel = _build(n_peers=1)
+    accel.send(AccelMsg.GetM, ADDR, "xg", "accel_request")
+    _go(sim)
+    peer.send(HammerMsg.PeerAck, ADDR, "xg", "response")
+    directory.send(HammerMsg.MemData, ADDR, "xg", "response", data=_block())
+    _go(sim)
+    accel.send(AccelMsg.PutM, ADDR, "xg", "accel_request", data=_block(4), dirty=True)
+    _go(sim)
+    # a Fwd_GetM races the writeback: serve from the put data, then go IIA
+    directory.send(HammerMsg.Fwd_GetM, ADDR, "xg", "forward", requestor="peer")
+    _go(sim)
+    assert peer.of_type(HammerMsg.PeerData)[0].data.read_byte(0) == 4
+    # a second probe must now get a plain ack (no stale data!)
+    directory.send(HammerMsg.Fwd_GetS, ADDR, "xg", "forward", requestor="peer")
+    _go(sim)
+    assert peer.of_type(HammerMsg.PeerAck)
+    directory.send(HammerMsg.WBNack, ADDR, "xg", "forward")
+    _go(sim)
+    assert xg.tbes.lookup(ADDR) is None
+    assert not directory.of_type(HammerMsg.WBData)
+
+
+def test_g2a_zero_writeback_on_hammer():
+    sim, xg, directory, peer, accel = _build(n_peers=1)
+    accel.send(AccelMsg.GetM, ADDR, "xg", "accel_request")
+    _go(sim)
+    peer.send(HammerMsg.PeerAck, ADDR, "xg", "response")
+    directory.send(HammerMsg.MemData, ADDR, "xg", "response", data=_block())
+    _go(sim)
+    directory.send(HammerMsg.Fwd_GetM, ADDR, "xg", "forward", requestor="peer")
+    _go(sim)
+    accel.send(AccelMsg.InvAck, ADDR, "xg", "accel_response")  # WRONG: owner
+    _go(sim)
+    assert xg.error_log.count(Guarantee.G2A_STABLE_RESPONSE) == 1
+    data_out = peer.of_type(HammerMsg.PeerData)
+    assert data_out and data_out[0].data.is_zero()

@@ -1,0 +1,174 @@
+"""Additional directed unit tests for MesiCrossingGuard: Recall, upgrade
+flows, GetS_Only issuance, and PutS forwarding."""
+
+import pytest
+
+from repro.memory.datablock import DataBlock
+from repro.protocols.mesi.messages import MesiMsg
+from repro.sim.network import FixedLatency, Network
+from repro.sim.simulator import Simulator
+from repro.xg.interface import AccelMsg, XGVariant
+from repro.xg.mesi_xg import MesiCrossingGuard
+from repro.xg.permissions import PagePermission, PermissionTable
+
+from tests.helpers import RawAgent
+
+ADDR = 0x4000
+
+
+def _build(variant=XGVariant.FULL_STATE, default_perm=PagePermission.READ_WRITE):
+    sim = Simulator(seed=0)
+    host_net = Network(sim, FixedLatency(1), name="host")
+    accel_net = Network(sim, FixedLatency(1), ordered=True, name="accel")
+    xg = MesiCrossingGuard(
+        sim, "xg", host_net, accel_net, "l2",
+        variant=variant,
+        permissions=PermissionTable(default=default_perm),
+        accel_timeout=100_000,
+    )
+    host_net.attach(xg)
+    accel_net.attach(xg)
+    l2 = RawAgent(sim, "l2", host_net)
+    RawAgent(sim, "l1.peer", host_net)
+    accel = RawAgent(sim, "accel", accel_net)
+    xg.attach_accelerator("accel")
+    return sim, xg, l2, accel
+
+
+def _block(value=0):
+    data = DataBlock()
+    data.write_byte(0, value)
+    return data
+
+
+def _go(sim, ticks=100):
+    sim.run(max_ticks=sim.tick + ticks, final_check=False)
+
+
+def _grant_m(sim, l2, accel, value=7):
+    accel.send(AccelMsg.GetM, ADDR, "xg", "accel_request")
+    _go(sim)
+    l2.send(MesiMsg.DataM, ADDR, "xg", "response", data=_block(value), ack_count=0)
+    _go(sim)
+    assert accel.of_type(AccelMsg.DataM)
+
+
+def test_recall_reclaims_owned_block():
+    """Inclusive L2 eviction: Recall -> accel Invalidate -> CopyBackInv."""
+    sim, xg, l2, accel = _build()
+    _grant_m(sim, l2, accel, value=9)
+    l2.send(MesiMsg.Recall, ADDR, "xg", "forward")
+    _go(sim)
+    assert accel.of_type(AccelMsg.Invalidate)
+    accel.send(AccelMsg.DirtyWB, ADDR, "xg", "accel_response", data=_block(9), dirty=True)
+    _go(sim)
+    back = l2.of_type(MesiMsg.CopyBackInv)
+    assert back and back[0].dirty and back[0].data.read_byte(0) == 9
+    assert xg.mirror_entry(ADDR) is None
+    assert xg.tbes.lookup(ADDR) is None
+
+
+def test_upgrade_counts_acks_like_an_l1():
+    sim, xg, l2, accel = _build()
+    # accel holds S first
+    accel.send(AccelMsg.GetS, ADDR, "xg", "accel_request")
+    _go(sim)
+    l2.send(MesiMsg.DataS, ADDR, "xg", "response", data=_block(1))
+    _go(sim)
+    # upgrade: DataM announces 2 sharer acks
+    accel.send(AccelMsg.GetM, ADDR, "xg", "accel_request")
+    _go(sim)
+    assert l2.of_type(MesiMsg.GetM)
+    l2.send(MesiMsg.DataM, ADDR, "xg", "response", data=_block(1), ack_count=2)
+    _go(sim)
+    assert not accel.of_type(AccelMsg.DataM), "acks still outstanding"
+    peer = sim.component("l1.peer")
+    peer.send(MesiMsg.InvAck, ADDR, "xg", "response")
+    peer.send(MesiMsg.InvAck, ADDR, "xg", "response")
+    _go(sim)
+    assert accel.of_type(AccelMsg.DataM)
+    assert l2.of_type(MesiMsg.UnblockX)
+    assert xg.mirror_entry(ADDR).accel_state == "O"
+
+
+def test_transactional_issues_gets_only_on_readonly():
+    sim, xg, l2, accel = _build(
+        variant=XGVariant.TRANSACTIONAL, default_perm=PagePermission.READ
+    )
+    accel.send(AccelMsg.GetS, ADDR, "xg", "accel_request")
+    _go(sim)
+    assert l2.of_type(MesiMsg.GetS_Only)
+    assert not l2.of_type(MesiMsg.GetS)
+    l2.send(MesiMsg.DataS, ADDR, "xg", "response", data=_block(2))
+    _go(sim)
+    assert accel.of_type(AccelMsg.DataS)
+
+
+def test_full_state_uses_plain_gets_on_readonly():
+    sim, xg, l2, accel = _build(default_perm=PagePermission.READ)
+    accel.send(AccelMsg.GetS, ADDR, "xg", "accel_request")
+    _go(sim)
+    assert l2.of_type(MesiMsg.GetS), "Full State retains instead"
+
+
+def test_puts_forwarded_to_mesi_host():
+    """MESI needs exact sharer tracking, so accel PutS DOES reach it."""
+    sim, xg, l2, accel = _build()
+    accel.send(AccelMsg.GetS, ADDR, "xg", "accel_request")
+    _go(sim)
+    l2.send(MesiMsg.DataS, ADDR, "xg", "response", data=_block())
+    _go(sim)
+    accel.send(AccelMsg.PutS, ADDR, "xg", "accel_request")
+    _go(sim)
+    assert accel.of_type(AccelMsg.WBAck)
+    assert l2.of_type(MesiMsg.PutS)
+    l2.send(MesiMsg.WBAck, ADDR, "xg", "forward")
+    _go(sim)
+    assert xg.tbes.lookup(ADDR) is None
+    assert xg.mirror_entry(ADDR) is None
+
+
+def test_pute_preserves_clean_data():
+    sim, xg, l2, accel = _build()
+    accel.send(AccelMsg.GetM, ADDR, "xg", "accel_request")
+    _go(sim)
+    l2.send(MesiMsg.DataM, ADDR, "xg", "response", data=_block(3), ack_count=0)
+    _go(sim)
+    accel.send(AccelMsg.PutE, ADDR, "xg", "accel_request", data=_block(3))
+    _go(sim)
+    puts = l2.of_type(MesiMsg.PutE)
+    assert puts and not puts[0].dirty and puts[0].data.read_byte(0) == 3
+
+
+def test_stalled_get_processed_after_probe_closes():
+    sim, xg, l2, accel = _build()
+    _grant_m(sim, l2, accel)
+    l2.send(MesiMsg.Fwd_GetM, ADDR, "xg", "forward", requestor="l1.peer")
+    _go(sim)
+    # a new accel Get arrives while the probe is open: stalls, no error
+    accel.send(AccelMsg.GetS, ADDR, "xg", "accel_request")
+    _go(sim)
+    assert len(l2.of_type(MesiMsg.GetS)) == 0
+    assert len(xg.error_log) == 0
+    accel.send(AccelMsg.DirtyWB, ADDR, "xg", "accel_response", data=_block(), dirty=True)
+    _go(sim)
+    assert len(l2.of_type(MesiMsg.GetS)) == 1, "woken and forwarded"
+
+
+def test_second_probe_after_race_answered_locally():
+    sim, xg, l2, accel = _build()
+    _grant_m(sim, l2, accel)
+    l2.send(MesiMsg.Fwd_GetM, ADDR, "xg", "forward", requestor="l1.peer")
+    _go(sim)
+    # racing Put resolves the probe...
+    accel.send(AccelMsg.PutM, ADDR, "xg", "accel_request", data=_block(7), dirty=True)
+    _go(sim)
+    # ...and before the trailing InvAck arrives, the host probes again
+    l2.send(MesiMsg.Inv, ADDR, "xg", "forward", requestor="l1.peer")
+    _go(sim)
+    peer = sim.component("l1.peer")
+    assert peer.of_type(MesiMsg.InvAck)
+    accel.send(AccelMsg.InvAck, ADDR, "xg", "accel_response")
+    _go(sim)
+    assert xg.tbes.lookup(ADDR) is None
+    assert len(xg.error_log) == 0

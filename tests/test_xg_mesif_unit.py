@@ -1,0 +1,173 @@
+"""Directed unit tests for MesifCrossingGuard."""
+
+import pytest
+
+from repro.memory.datablock import DataBlock
+from repro.protocols.mesif.messages import MesifMsg
+from repro.sim.network import FixedLatency, Network
+from repro.sim.simulator import Simulator
+from repro.xg.errors import Guarantee
+from repro.xg.interface import AccelMsg, XGVariant
+from repro.xg.mesif_xg import MesifCrossingGuard
+from repro.xg.permissions import PagePermission, PermissionTable
+
+from tests.helpers import RawAgent
+
+ADDR = 0x4000
+
+
+def _build(variant=XGVariant.FULL_STATE, default_perm=PagePermission.READ_WRITE):
+    sim = Simulator(seed=0)
+    host_net = Network(sim, FixedLatency(1), name="host")
+    accel_net = Network(sim, FixedLatency(1), ordered=True, name="accel")
+    xg = MesifCrossingGuard(
+        sim, "xg", host_net, accel_net, "l2",
+        variant=variant,
+        permissions=PermissionTable(default=default_perm),
+        accel_timeout=100_000,
+    )
+    host_net.attach(xg)
+    accel_net.attach(xg)
+    l2 = RawAgent(sim, "l2", host_net)
+    RawAgent(sim, "l1.peer", host_net)
+    accel = RawAgent(sim, "accel", accel_net)
+    xg.attach_accelerator("accel")
+    return sim, xg, l2, accel
+
+
+def _block(value=0):
+    data = DataBlock()
+    data.write_byte(0, value)
+    return data
+
+
+def _go(sim, ticks=100):
+    sim.run(max_ticks=sim.tick + ticks, final_check=False)
+
+
+def test_dataf_grant_becomes_datas_with_unblockf():
+    sim, xg, l2, accel = _build()
+    accel.send(AccelMsg.GetS, ADDR, "xg", "accel_request")
+    _go(sim)
+    l2.send(MesifMsg.DataF, ADDR, "xg", "response", data=_block(4))
+    _go(sim)
+    grants = accel.of_type(AccelMsg.DataS)
+    assert grants and grants[0].data.read_byte(0) == 4
+    assert not accel.of_type(AccelMsg.DataE)
+    assert l2.of_type(MesifMsg.UnblockF), "XG takes the designation hostward"
+    assert xg.mirror_entry(ADDR).accel_state == "S"
+
+
+def test_fwd_gets_f_declined_with_fnack():
+    sim, xg, l2, accel = _build()
+    accel.send(AccelMsg.GetS, ADDR, "xg", "accel_request")
+    _go(sim)
+    l2.send(MesifMsg.DataF, ADDR, "xg", "response", data=_block())
+    _go(sim)
+    before = len(accel.received)
+    l2.send(MesifMsg.Fwd_GetS_F, ADDR, "xg", "forward", requestor="l1.peer")
+    _go(sim)
+    assert l2.of_type(MesifMsg.FNack)
+    assert len(accel.received) == before, "accelerator never consulted"
+    # the accel's S copy is untouched in the mirror
+    assert xg.mirror_entry(ADDR).accel_state == "S"
+
+
+def test_datae_grant_passes_through_exclusive():
+    sim, xg, l2, accel = _build()
+    accel.send(AccelMsg.GetS, ADDR, "xg", "accel_request")
+    _go(sim)
+    l2.send(MesifMsg.DataE, ADDR, "xg", "response", data=_block(6))
+    _go(sim)
+    assert accel.of_type(AccelMsg.DataE)
+    assert l2.of_type(MesifMsg.UnblockX)
+    assert xg.mirror_entry(ADDR).accel_state == "O"
+
+
+def test_getm_ack_counting():
+    sim, xg, l2, accel = _build()
+    accel.send(AccelMsg.GetM, ADDR, "xg", "accel_request")
+    _go(sim)
+    l2.send(MesifMsg.DataM, ADDR, "xg", "response", data=_block(), ack_count=1)
+    _go(sim)
+    assert not accel.of_type(AccelMsg.DataM)
+    peer = sim.component("l1.peer")
+    peer.send(MesifMsg.InvAck, ADDR, "xg", "response")
+    _go(sim)
+    assert accel.of_type(AccelMsg.DataM)
+
+
+def test_accel_puts_has_no_host_message():
+    sim, xg, l2, accel = _build()
+    accel.send(AccelMsg.GetS, ADDR, "xg", "accel_request")
+    _go(sim)
+    l2.send(MesifMsg.DataS, ADDR, "xg", "response", data=_block())
+    _go(sim)
+    host_msgs_before = xg.stats.get("xg_to_host_msgs")
+    accel.send(AccelMsg.PutS, ADDR, "xg", "accel_request")
+    _go(sim)
+    assert accel.of_type(AccelMsg.WBAck)
+    assert xg.stats.get("xg_to_host_msgs") == host_msgs_before
+    assert xg.stats.get("puts_absorbed_no_host_message") == 1
+    assert xg.tbes.lookup(ADDR) is None
+
+
+def test_owner_probe_roundtrip_with_dataf_to_requestor():
+    sim, xg, l2, accel = _build()
+    accel.send(AccelMsg.GetM, ADDR, "xg", "accel_request")
+    _go(sim)
+    l2.send(MesifMsg.DataM, ADDR, "xg", "response", data=_block(), ack_count=0)
+    _go(sim)
+    l2.send(MesifMsg.Fwd_GetS, ADDR, "xg", "forward", requestor="l1.peer")
+    _go(sim)
+    assert accel.of_type(AccelMsg.Invalidate)
+    accel.send(AccelMsg.DirtyWB, ADDR, "xg", "accel_response", data=_block(8), dirty=True)
+    _go(sim)
+    peer = sim.component("l1.peer")
+    served = peer.of_type(MesifMsg.DataF)
+    assert served and served[0].data.read_byte(0) == 8
+    copyback = l2.of_type(MesifMsg.CopyBack)
+    assert copyback and copyback[0].dirty
+
+
+def test_transactional_gets_only_on_readonly_page():
+    sim, xg, l2, accel = _build(
+        variant=XGVariant.TRANSACTIONAL, default_perm=PagePermission.READ
+    )
+    accel.send(AccelMsg.GetS, ADDR, "xg", "accel_request")
+    _go(sim)
+    assert l2.of_type(MesifMsg.GetS_Only)
+
+
+def test_g2a_zero_writeback_on_mesif():
+    sim, xg, l2, accel = _build()
+    accel.send(AccelMsg.GetM, ADDR, "xg", "accel_request")
+    _go(sim)
+    l2.send(MesifMsg.DataM, ADDR, "xg", "response", data=_block(), ack_count=0)
+    _go(sim)
+    l2.send(MesifMsg.Fwd_GetM, ADDR, "xg", "forward", requestor="l1.peer")
+    _go(sim)
+    accel.send(AccelMsg.InvAck, ADDR, "xg", "accel_response")  # WRONG: owner
+    _go(sim)
+    assert xg.error_log.count(Guarantee.G2A_STABLE_RESPONSE) == 1
+    peer = sim.component("l1.peer")
+    data_out = peer.of_type(MesifMsg.DataM)
+    assert data_out and data_out[0].data.is_zero()
+
+
+def test_put_invalidate_race_on_mesif():
+    sim, xg, l2, accel = _build()
+    accel.send(AccelMsg.GetM, ADDR, "xg", "accel_request")
+    _go(sim)
+    l2.send(MesifMsg.DataM, ADDR, "xg", "response", data=_block(), ack_count=0)
+    _go(sim)
+    l2.send(MesifMsg.Recall, ADDR, "xg", "forward")
+    _go(sim)
+    accel.send(AccelMsg.PutM, ADDR, "xg", "accel_request", data=_block(5), dirty=True)
+    accel.send(AccelMsg.InvAck, ADDR, "xg", "accel_response")
+    _go(sim)
+    assert accel.of_type(AccelMsg.WBAck)
+    back = l2.of_type(MesifMsg.CopyBackInv)
+    assert back and back[0].data.read_byte(0) == 5
+    assert len(xg.error_log) == 0
+    assert xg.tbes.lookup(ADDR) is None
