@@ -1,0 +1,56 @@
+"""Chaos safety: an unreliable XG<->accelerator link vs the hardened XG.
+
+Extends the E4 safety claim to a harsher fault model: on top of a
+byzantine-capable accelerator, the *link itself* drops, replays, delays,
+and corrupts messages. Every campaign row must stay host-safe with CPU
+loads still data-checked, and every fault XG could not silently recover
+must be visible in the OS error log or its recovery counters.
+"""
+
+from repro.eval.report import format_table
+from repro.testing.chaos import run_chaos_matrix
+
+RECOVERY_KEYS = (
+    "probe_retries",
+    "duplicates_sunk",
+    "retry_echoes_absorbed",
+    "quarantine_surrogates",
+    "requests_dropped_disabled",
+)
+
+
+def test_chaos_safety_matrix(once):
+    rows = once(run_chaos_matrix, rate=0.2, duration=40_000, cpu_ops=600)
+    print()
+    print(
+        format_table(
+            [
+                "host", "variant", "fault", "safe", "faults", "retries",
+                "dups sunk", "violations", "cpu loads ok",
+            ],
+            [
+                (
+                    r["host"],
+                    r["variant"],
+                    r["fault"],
+                    r["host_safe"],
+                    r["faults_total"],
+                    r["probe_retries"],
+                    r["duplicates_sunk"],
+                    r["violations_total"],
+                    r["cpu_loads_value_checked"],
+                )
+                for r in rows
+            ],
+            title="Chaos safety matrix (host survives an unreliable interconnect)",
+        )
+    )
+    assert all(r["host_safe"] for r in rows), [
+        (r["host"], r["variant"], r["fault"], r["crash_detail"]) for r in rows
+        if not r["host_safe"]
+    ]
+    assert all(r["faults_total"] > 0 for r in rows), "campaigns must inject faults"
+    assert all(r["cpu_loads_value_checked"] > 0 for r in rows)
+    assert all(
+        sum(r[key] for key in RECOVERY_KEYS) + r["violations_total"] > 0 for r in rows
+    ), "every fault must be recovered or surfaced"

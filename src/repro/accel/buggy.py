@@ -194,13 +194,20 @@ class FloodingAccel(_AdversaryBase):
     the rate limiter's protection of host throughput.
     """
 
-    def __init__(self, sim, name, net, xg_name, addr_pool, gap=1, block_size=64):
+    def __init__(self, sim, name, net, xg_name, addr_pool, gap=1, block_size=64,
+                 retry_after=None):
         super().__init__(sim, name, net, xg_name, block_size=block_size)
         self.addr_pool = list(addr_pool)
         self.gap = gap
         self.requests_sent = 0
         self.responses_seen = 0
+        #: addr -> tick the current request/writeback was issued at.
         self.held = {}
+        #: when set, re-issue a GetM for an address whose transaction has
+        #: been pending this long — keeps the flood alive on a lossy link
+        #: (the chaos campaigns drop its messages on the floor).
+        self.retry_after = retry_after
+        self.retries_sent = 0
         self.stopped = False
 
     def start(self):
@@ -216,9 +223,19 @@ class FloodingAccel(_AdversaryBase):
         free = [a for a in self.addr_pool if a not in self.held]
         if free:
             addr = rng.choice(free)
-            self.held[addr] = "pending"
+            self.held[addr] = self.sim.tick
             self._emit(AccelMsg.GetM, addr, "accel_request")
             self.requests_sent += 1
+        elif self.retry_after is not None:
+            stuck = [
+                a for a, since in self.held.items()
+                if self.sim.tick - since >= self.retry_after
+            ]
+            if stuck:
+                addr = rng.choice(stuck)
+                self.held[addr] = self.sim.tick
+                self._emit(AccelMsg.GetM, addr, "accel_request")
+                self.retries_sent += 1
         self.sim.schedule(self.gap, self._tick)
 
     def wakeup(self):

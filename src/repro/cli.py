@@ -5,6 +5,7 @@ Commands:
 * ``demo``        — tiny coherent CPU/accelerator exchange through XG;
 * ``stress``      — Section 4.1 random stress over the 12 configurations;
 * ``fuzz``        — byzantine-accelerator safety campaign;
+* ``chaos``       — fault-injected interconnect campaign (drop/dup/delay/corrupt);
 * ``verify``      — exhaustive single-address interface verification;
 * ``perf``        — runtime comparison of the cache organizations;
 * ``experiment``  — run one of the table/figure experiments (e1..e12).
@@ -13,7 +14,7 @@ Commands:
 import argparse
 import sys
 
-from repro.eval.report import format_table
+from repro.eval.report import format_error_log, format_table
 
 
 def _cmd_demo(args):
@@ -88,6 +89,60 @@ def _cmd_fuzz(args):
         print(f"{key}: {report[key]}")
     for guarantee, count in sorted(report["violations"].items()):
         print(f"  {guarantee}: {count}")
+    if len(_system.error_log):
+        print()
+        print(format_error_log(_system.error_log, limit=args.show_errors))
+    return 0 if report["host_safe"] else 1
+
+
+def _cmd_chaos(args):
+    from repro.host.config import HostProtocol
+    from repro.sim.faults import FaultWindow, single_link_plan
+    from repro.testing.chaos import run_chaos_campaign
+    from repro.xg.interface import XGVariant
+
+    rates = {kind: args.rate for kind in args.faults.split(",") if kind}
+    windows = []
+    try:
+        if args.blackhole:
+            start, _, end = args.blackhole.partition(":")
+            windows.append(FaultWindow(int(start), int(end), "drop", 1.0))
+        single_link_plan(rates, windows=windows)  # validate kinds/rates early
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result, system = run_chaos_campaign(
+        HostProtocol[args.host.upper()],
+        XGVariant[args.variant.upper()],
+        faults=rates,
+        windows=windows,
+        adversary=args.adversary,
+        seed=args.seed,
+        fault_seed=args.fault_seed,
+        duration=args.duration,
+        cpu_ops=args.cpu_ops,
+        accel_timeout=args.accel_timeout,
+        probe_retries=args.probe_retries,
+        disable_after=args.disable_after,
+    )
+    report = result.as_dict()
+    for key in (
+        "host_safe", "final_tick", "cpu_loads_checked", "adversary_messages",
+        "faults_total", "probe_retries", "duplicates_sunk",
+        "retry_echoes_absorbed", "quarantine_surrogates", "accel_disabled",
+        "violations_total",
+    ):
+        print(f"{key}: {report[key]}")
+    for kind, count in sorted(report["faults_injected"].items()):
+        print(f"  injected {kind}: {count}")
+    for guarantee, count in sorted(report["violations"].items()):
+        print(f"  {guarantee}: {count}")
+    if len(system.error_log):
+        print()
+        print(format_error_log(system.error_log, limit=args.show_errors))
+    if not report["host_safe"] and report["diagnosis"]:
+        print()
+        print(report["diagnosis"])
     return 0 if report["host_safe"] else 1
 
 
@@ -262,7 +317,36 @@ def build_parser():
     fuzz.add_argument("--seed", type=int, default=0)
     fuzz.add_argument("--duration", type=int, default=40_000)
     fuzz.add_argument("--cpu-ops", dest="cpu_ops", type=int, default=1000)
+    fuzz.add_argument("--show-errors", dest="show_errors", type=int, default=10,
+                      help="OS error-log records to print")
     fuzz.set_defaults(fn=_cmd_fuzz)
+
+    chaos = sub.add_parser(
+        "chaos", help="fault-injected interconnect safety campaign"
+    )
+    chaos.add_argument("--host", default="mesi", choices=["mesi", "hammer", "mesif"])
+    chaos.add_argument("--variant", default="full_state",
+                       choices=["full_state", "transactional"])
+    chaos.add_argument("--faults", default="drop,duplicate,delay,corrupt",
+                       help="comma list of fault kinds on the accel link")
+    chaos.add_argument("--rate", type=float, default=0.15,
+                       help="per-message injection rate per fault kind")
+    chaos.add_argument("--blackhole", default=None, metavar="START:END",
+                       help="drop everything on the accel link during [START, END)")
+    chaos.add_argument("--adversary", default="flood",
+                       choices=["fuzz", "deaf", "wrong", "flood"])
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--fault-seed", dest="fault_seed", type=int, default=None,
+                       help="fault plan RNG seed (defaults to --seed)")
+    chaos.add_argument("--duration", type=int, default=60_000)
+    chaos.add_argument("--cpu-ops", dest="cpu_ops", type=int, default=1200)
+    chaos.add_argument("--accel-timeout", dest="accel_timeout", type=int, default=2500)
+    chaos.add_argument("--probe-retries", dest="probe_retries", type=int, default=2)
+    chaos.add_argument("--disable-after", dest="disable_after", type=int, default=None,
+                       help="quarantine the accelerator after N violations")
+    chaos.add_argument("--show-errors", dest="show_errors", type=int, default=10,
+                       help="OS error-log records to print")
+    chaos.set_defaults(fn=_cmd_chaos)
 
     verify = sub.add_parser("verify", help="exhaustive interface verification")
     verify.set_defaults(fn=_cmd_verify)

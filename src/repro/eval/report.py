@@ -16,6 +16,34 @@ def format_table(headers, rows, title=None):
     return "\n".join(lines)
 
 
+def format_error_log(log, limit=15):
+    """Render an :class:`~repro.xg.errors.XGErrorLog` as an aligned table.
+
+    Built on the log's machine-readable ``as_dict()`` records — the same
+    payload an OS driver would consume — showing the newest ``limit``.
+    """
+    report = log.as_dict()
+    records = report["errors"][-limit:]
+    skipped = report["count"] - len(records)
+    title = (
+        f"OS error log: {report['count']} records, "
+        f"accel_disabled={report['accel_disabled']}"
+        + (f" (showing last {len(records)})" if skipped > 0 else "")
+    )
+    rows = [
+        (
+            r["tick"],
+            r["guarantee"],
+            f"{r['addr']:#x}" if isinstance(r["addr"], int) else r["addr"],
+            r["accel"] or "-",
+            r["description"],
+        )
+        for r in records
+    ]
+    return format_table(["tick", "guarantee", "addr", "accel", "description"], rows,
+                        title=title)
+
+
 def normalize_rows(rows, key, baseline_label, label_key="config"):
     """Add ``<key>_norm`` = value / baseline's value to each row dict."""
     baseline = None

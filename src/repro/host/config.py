@@ -62,9 +62,15 @@ class SystemConfig:
 
     # XG knobs
     accel_timeout: int = 50000
+    probe_retries: int = 1  # Invalidate re-issues before the G2c surrogate
+    disable_after: int = None  # OS policy: quarantine accel after N violations
     suppress_puts: bool = False
     rate_limit: tuple = None  # (rate, period) or None
     permissions_default: str = "rw"  # "rw" | "read" | "none"
+
+    # fault injection (repro.sim.faults.FaultPlan, consulted by every
+    # network on every send; None = perfectly reliable interconnect)
+    fault_plan: object = None
 
     # simulation
     seed: int = 0

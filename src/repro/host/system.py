@@ -136,12 +136,15 @@ def build_system(config: SystemConfig) -> System:
         host_lat = _latency(config.host_net_lo, config.host_net_hi)
         accel_lat = _latency(config.accel_net_lo, config.accel_net_hi)
     host_net = Network(
-        sim, host_lat, ordered=False, name="host", bandwidth=config.host_net_bandwidth
+        sim, host_lat, ordered=False, name="host",
+        bandwidth=config.host_net_bandwidth, fault_plan=config.fault_plan,
     )
     # The XG<->accelerator network must be ordered (Section 2.1). XG sits
     # at the host edge of the physical crossing, so traffic to/from it
     # pays the crossing while intra-accelerator traffic stays fast.
-    accel_net = Network(sim, accel_lat, ordered=True, name="accel")
+    accel_net = Network(
+        sim, accel_lat, ordered=True, name="accel", fault_plan=config.fault_plan
+    )
     system.host_net = host_net
     system.accel_net = accel_net
 
@@ -244,7 +247,7 @@ def build_system(config: SystemConfig) -> System:
             suffix = "" if accel_index == 0 else f".{accel_index}"
             xg_name = f"xg{suffix}"
             permissions = PermissionTable(default=default)
-            error_log = XGErrorLog()
+            error_log = XGErrorLog(disable_after=config.disable_after)
             if config.rate_limit is not None:
                 rate, period = config.rate_limit
                 limiter = RateLimiter(rate=rate, period=period)
@@ -256,6 +259,7 @@ def build_system(config: SystemConfig) -> System:
                 error_log=error_log,
                 rate_limiter=limiter,
                 accel_timeout=config.accel_timeout,
+                probe_retries=config.probe_retries,
                 suppress_puts=config.suppress_puts,
                 block_size=config.block_size,
             )

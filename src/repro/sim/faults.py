@@ -1,0 +1,211 @@
+"""Seeded fault injection for the simulated interconnect.
+
+The safety evaluation's byzantine accelerators attack Crossing Guard at
+the *endpoint*; this module attacks the *links*. A :class:`FaultPlan` is
+consulted by :class:`~repro.sim.network.Network` on every send and may
+drop, duplicate, delay, or corrupt the message — modeling an unreliable
+host-accelerator crossing (lost flits, link-layer replay duplicates,
+congestion spikes, payload corruption that escaped CRC).
+
+Everything is driven by the plan's own seeded RNG, independent of the
+simulator's, so a campaign is reproducible from ``(sim seed, fault
+seed, plan)`` alone and fault decisions do not perturb the latency
+stream of a fault-free run.
+
+Scheduling: each link carries base per-kind rates plus
+:class:`FaultWindow` intervals that add rate inside ``[start, end)`` —
+a window with ``rate=1.0`` and kind ``"drop"`` blackholes the link for
+its duration.
+"""
+
+import random
+
+DROP = "drop"
+DUPLICATE = "duplicate"
+DELAY = "delay"
+CORRUPT = "corrupt"
+
+#: Every fault kind a link can inject, in decision order.
+FAULT_KINDS = (DROP, DUPLICATE, DELAY, CORRUPT)
+
+
+class FaultWindow:
+    """Extra fault rate of one kind during ``[start, end)`` ticks."""
+
+    __slots__ = ("start", "end", "kind", "rate")
+
+    def __init__(self, start, end, kind, rate=1.0):
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}; choose from {FAULT_KINDS}")
+        if not 0 <= start < end:
+            raise ValueError(f"need 0 <= start < end, got [{start}, {end})")
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        self.start = start
+        self.end = end
+        self.kind = kind
+        self.rate = rate
+
+    def active(self, tick):
+        return self.start <= tick < self.end
+
+    def __repr__(self):
+        return f"FaultWindow({self.start}, {self.end}, {self.kind!r}, {self.rate})"
+
+
+class LinkFaults:
+    """Per-link fault configuration: base rates plus scheduled windows."""
+
+    __slots__ = ("rates", "delay_ticks", "windows")
+
+    def __init__(
+        self,
+        drop=0.0,
+        duplicate=0.0,
+        delay=0.0,
+        corrupt=0.0,
+        delay_ticks=(5, 120),
+        windows=(),
+    ):
+        self.rates = {DROP: drop, DUPLICATE: duplicate, DELAY: delay, CORRUPT: corrupt}
+        for kind, rate in self.rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{kind} rate must be in [0, 1], got {rate}")
+        lo, hi = delay_ticks
+        if not 1 <= lo <= hi:
+            raise ValueError(f"need 1 <= lo <= hi delay ticks, got {delay_ticks}")
+        self.delay_ticks = (lo, hi)
+        self.windows = list(windows)
+
+    def rate(self, kind, tick):
+        """Effective rate of ``kind`` at ``tick`` (base + active windows)."""
+        rate = self.rates[kind]
+        for window in self.windows:
+            if window.kind == kind and window.active(tick):
+                rate += window.rate
+        return min(rate, 1.0)
+
+    def __repr__(self):
+        base = ", ".join(f"{k}={v}" for k, v in self.rates.items() if v)
+        return f"LinkFaults({base or 'quiet'}, windows={len(self.windows)})"
+
+
+class FaultDecision:
+    """What the plan chose to do to one message."""
+
+    __slots__ = ("drop", "duplicate", "extra_delay", "corrupt")
+
+    def __init__(self, drop=False, duplicate=False, extra_delay=0, corrupt=False):
+        self.drop = drop
+        self.duplicate = duplicate
+        self.extra_delay = extra_delay
+        self.corrupt = corrupt
+
+    def __bool__(self):
+        return self.drop or self.duplicate or self.corrupt or self.extra_delay > 0
+
+    def __repr__(self):
+        parts = []
+        if self.drop:
+            parts.append("drop")
+        if self.duplicate:
+            parts.append("duplicate")
+        if self.extra_delay:
+            parts.append(f"delay+{self.extra_delay}")
+        if self.corrupt:
+            parts.append("corrupt")
+        return f"FaultDecision({', '.join(parts) or 'none'})"
+
+
+class FaultPlan:
+    """A seeded, per-link schedule of interconnect faults.
+
+    Links are keyed by network name (``"accel"``) or, more specifically,
+    by directed lane (``"accel:xg->accel_l1"``); the directed key wins.
+    Pass link configs at construction or via :meth:`set_link`.
+    """
+
+    def __init__(self, seed=0, links=None):
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.links = dict(links or {})
+        #: injected-fault counters, per kind and per link.
+        self.stats = {}
+
+    def set_link(self, key, faults):
+        """Attach a :class:`LinkFaults` config to a link key."""
+        self.links[key] = faults
+        return self
+
+    def link_for(self, net_name, msg):
+        """The link config governing ``msg`` on network ``net_name``."""
+        lane = self.links.get(f"{net_name}:{msg.sender}->{msg.dest}")
+        if lane is not None:
+            return lane
+        return self.links.get(net_name)
+
+    def _count(self, net_name, kind, amount=1):
+        self.stats[kind] = self.stats.get(kind, 0) + amount
+        per_link = f"{kind}.{net_name}"
+        self.stats[per_link] = self.stats.get(per_link, 0) + amount
+
+    def decide(self, net_name, msg, tick):
+        """Sample the fault decision for one send; None = leave it alone.
+
+        Kinds are sampled independently in :data:`FAULT_KINDS` order so
+        the RNG stream is a pure function of the message sequence. A
+        drop pre-empts the other kinds (the message never arrives).
+        """
+        link = self.link_for(net_name, msg)
+        if link is None:
+            return None
+        rng = self.rng
+        if link.rate(DROP, tick) and rng.random() < link.rate(DROP, tick):
+            self._count(net_name, DROP)
+            return FaultDecision(drop=True)
+        decision = None
+        if link.rate(DUPLICATE, tick) and rng.random() < link.rate(DUPLICATE, tick):
+            decision = decision or FaultDecision()
+            decision.duplicate = True
+            self._count(net_name, DUPLICATE)
+        if link.rate(DELAY, tick) and rng.random() < link.rate(DELAY, tick):
+            decision = decision or FaultDecision()
+            decision.extra_delay = rng.randint(*link.delay_ticks)
+            self._count(net_name, DELAY)
+        if link.rate(CORRUPT, tick) and rng.random() < link.rate(CORRUPT, tick):
+            decision = decision or FaultDecision()
+            decision.corrupt = True
+            self._count(net_name, CORRUPT)
+        return decision
+
+    def corrupted_copy(self, data):
+        """A copy of ``data`` with one random byte flipped (never a no-op)."""
+        copy = data.copy()
+        offset = self.rng.randrange(copy.size)
+        flip = self.rng.randint(1, 255)
+        copy.write_byte(offset, copy.read_byte(offset) ^ flip)
+        return copy
+
+    @property
+    def total_injected(self):
+        return sum(self.stats.get(kind, 0) for kind in FAULT_KINDS)
+
+    def as_dict(self):
+        return {
+            "seed": self.seed,
+            "links": {key: repr(link) for key, link in self.links.items()},
+            "injected": dict(self.stats),
+            "total_injected": self.total_injected,
+        }
+
+    def __repr__(self):
+        return f"FaultPlan(seed={self.seed}, links={list(self.links)}, injected={self.total_injected})"
+
+
+def single_link_plan(rates, seed=0, link="accel", delay_ticks=(5, 120), windows=()):
+    """Convenience: a plan faulting one link from a ``{kind: rate}`` dict."""
+    unknown = set(rates) - set(FAULT_KINDS)
+    if unknown:
+        raise ValueError(f"unknown fault kinds {sorted(unknown)}; choose from {FAULT_KINDS}")
+    faults = LinkFaults(delay_ticks=delay_ticks, windows=windows, **rates)
+    return FaultPlan(seed=seed).set_link(link, faults)

@@ -71,6 +71,30 @@ class Message:
         self.uid = next(_MSG_IDS)
         self.send_tick = None
 
+    def clone(self):
+        """A wire-level duplicate: same fields and ``uid``, private payload.
+
+        Fault injection uses this to model link-layer replay — the
+        duplicate is the *same* logical message (receivers may dedupe it
+        by uid) but carries an independent copy of the data so neither
+        delivery can corrupt the other.
+        """
+        dup = Message(
+            self.mtype,
+            self.addr,
+            sender=self.sender,
+            dest=self.dest,
+            data=self.data.copy() if self.data is not None else None,
+            requestor=self.requestor,
+            ack_count=self.ack_count,
+            dirty=self.dirty,
+            shared_hint=self.shared_hint,
+            value=self.value,
+        )
+        dup.uid = self.uid
+        dup.send_tick = self.send_tick
+        return dup
+
     def __repr__(self):
         fields = [
             f"{getattr(self.mtype, 'name', self.mtype)}",

@@ -54,7 +54,8 @@ class Network:
         name: label used in statistics.
     """
 
-    def __init__(self, sim, latency, ordered=False, name="net", bandwidth=None):
+    def __init__(self, sim, latency, ordered=False, name="net", bandwidth=None,
+                 fault_plan=None):
         self.sim = sim
         self.latency = latency
         self.ordered = ordered
@@ -63,6 +64,9 @@ class Network:
         #: Models shared-link contention — what a flooding accelerator
         #: actually steals from the host (Section 2.5).
         self.bandwidth = bandwidth
+        #: optional :class:`~repro.sim.faults.FaultPlan` consulted on
+        #: every send (None = perfectly reliable fabric).
+        self.fault_plan = fault_plan
         self._next_slot = 0.0
         self._endpoints = {}
         self._endpoint_delay = {}
@@ -111,6 +115,33 @@ class Network:
             if queueing > 0:
                 self.stats.inc("queueing_ticks", queueing)
             arrival += queueing
+        plan = self.fault_plan
+        if plan is not None:
+            decision = plan.decide(self.name, msg, self.sim.tick)
+            if decision is not None and decision:
+                if decision.drop:
+                    # The fabric ate the message: no delivery, no lane
+                    # slot — survivors keep their relative order.
+                    self.stats.inc("fault.dropped")
+                    self.sim.record_trace(self.name, msg, note="dropped")
+                    return arrival
+                if decision.extra_delay:
+                    self.stats.inc("fault.delayed")
+                    self.stats.inc("fault.delay_ticks", decision.extra_delay)
+                    arrival += decision.extra_delay
+                if decision.corrupt and msg.data is not None:
+                    self.stats.inc("fault.corrupted")
+                    msg.data = plan.corrupted_copy(msg.data)
+                if decision.duplicate:
+                    self.stats.inc("fault.duplicated")
+                    arrival = self._deliver_one(dest, port, msg, arrival)
+                    # Link-layer replay: same uid, own payload copy,
+                    # trailing the original by at least one tick.
+                    self._deliver_one(dest, port, msg.clone(), arrival + 1, note="dup")
+                    return arrival
+        return self._deliver_one(dest, port, msg, arrival)
+
+    def _deliver_one(self, dest, port, msg, arrival, note=""):
         if self.ordered:
             # One serial lane per (sender, dest) pair across ALL ports:
             # the paper's ordered accel link must keep a Put ordered ahead
@@ -125,6 +156,7 @@ class Network:
         self.stats.inc(f"msg.{getattr(msg.mtype, 'name', msg.mtype)}")
         if msg.data is not None:
             self.stats.inc("data_messages")
+        self.sim.record_trace(self.name, msg, note=note)
         dest.deliver(port, arrival, msg)
         return arrival
 

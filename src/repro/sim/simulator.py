@@ -7,28 +7,67 @@ host-side components when Crossing Guard is in place.
 """
 
 import random
+from collections import deque
 
 from repro.sim.event import EventQueue
 from repro.sim.stats import Stats
 
 
 class DeadlockError(RuntimeError):
-    """A component left a visible message unprocessed past the threshold."""
+    """A component left a visible message unprocessed past the threshold.
 
-    def __init__(self, component, stalled_since, now):
+    When raised by the watchdog the error carries the owning simulator;
+    :meth:`diagnose` then turns a bare "X is stuck" into a forensic
+    report — chaos campaigns attach it to their failure output so an
+    injected-fault wedge is debuggable from the log alone.
+    """
+
+    def __init__(self, component, stalled_since, now, sim=None):
         self.component = component
         self.stalled_since = stalled_since
         self.now = now
+        self.sim = sim
         super().__init__(
             f"deadlock: {component.name} has work pending since tick "
             f"{stalled_since} (now {now})"
         )
 
+    def diagnose(self):
+        """Multi-line forensic report: per-component pending work, queue
+        depths, open TBEs, stalled messages, and the last-N message trace."""
+        lines = [str(self)]
+        if self.sim is None:
+            lines.append("(no simulator attached; diagnosis unavailable)")
+            return "\n".join(lines)
+        lines.append("-- components with pending work --")
+        for comp in self.sim.components:
+            oldest = comp.oldest_pending_tick(self.now)
+            depths = {
+                port: len(buf) for port, buf in comp.in_ports.items() if len(buf)
+            }
+            open_tbes = len(comp.tbes) if hasattr(comp, "tbes") else 0
+            stalled = comp.stalled_count() if hasattr(comp, "stalled_count") else 0
+            if oldest is None and not depths and not open_tbes and not stalled:
+                continue
+            mark = "  <-- watchdog tripped here" if comp is self.component else ""
+            lines.append(
+                f"  {comp.name}: oldest_pending={oldest} queues={depths or '{}'} "
+                f"open_tbes={open_tbes} stalled_msgs={stalled}{mark}"
+            )
+        trace = list(self.sim.trace)
+        lines.append(f"-- last {len(trace)} network messages (oldest first) --")
+        for tick, net, mtype, addr, sender, dest, note in trace:
+            mname = getattr(mtype, "name", mtype)
+            addr_s = f"{addr:#x}" if isinstance(addr, int) else str(addr)
+            suffix = f" [{note}]" if note else ""
+            lines.append(f"  t={tick} {net}: {mname} {addr_s} {sender}->{dest}{suffix}")
+        return "\n".join(lines)
+
 
 class Simulator:
     """Owns the clock, the event queue, components, and global stats."""
 
-    def __init__(self, seed=0, deadlock_threshold=None):
+    def __init__(self, seed=0, deadlock_threshold=None, trace_depth=64):
         self.tick = 0
         self.rng = random.Random(seed)
         self.seed = seed
@@ -38,6 +77,14 @@ class Simulator:
         self._stats = {}
         self.deadlock_threshold = deadlock_threshold
         self._events_fired = 0
+        #: ring of the last ``trace_depth`` network sends, for forensics.
+        self.trace = deque(maxlen=trace_depth)
+
+    def record_trace(self, net_name, msg, note=""):
+        """Append one network send to the forensic trace ring."""
+        self.trace.append(
+            (self.tick, net_name, msg.mtype, msg.addr, msg.sender, msg.dest, note)
+        )
 
     # -- registration --------------------------------------------------------
 
@@ -132,9 +179,9 @@ class Simulator:
             if oldest is None:
                 continue
             if final:
-                raise DeadlockError(comp, oldest, self.tick)
+                raise DeadlockError(comp, oldest, self.tick, sim=self)
             if self.tick - oldest > self.deadlock_threshold:
-                raise DeadlockError(comp, oldest, self.tick)
+                raise DeadlockError(comp, oldest, self.tick, sim=self)
 
     # -- reporting --------------------------------------------------------------
 

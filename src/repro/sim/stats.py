@@ -42,6 +42,9 @@ class Histogram:
             "mean": self.mean,
             "min": self.min,
             "max": self.max,
+            # bucket map included so two runs can be compared exactly
+            # (the determinism property tests diff full stats reports)
+            "buckets": dict(self.buckets),
         }
 
     def __repr__(self):

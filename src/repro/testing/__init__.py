@@ -6,8 +6,18 @@
   and tiny caches so replacements and races are frequent.
 * :mod:`repro.testing.fuzzer` — a byzantine message source aimed at the
   Crossing Guard accelerator interface for the safety evaluation.
+* :mod:`repro.testing.chaos` — fault-injected interconnect campaigns:
+  drops, duplicates, delay spikes, and payload corruption on the
+  XG<->accelerator link, with host safety and CPU progress asserted.
 """
 
+from repro.testing.chaos import ChaosResult, run_chaos_campaign, run_chaos_matrix
 from repro.testing.random_tester import DataCheckError, RandomTester
 
-__all__ = ["DataCheckError", "RandomTester"]
+__all__ = [
+    "ChaosResult",
+    "DataCheckError",
+    "RandomTester",
+    "run_chaos_campaign",
+    "run_chaos_matrix",
+]

@@ -17,6 +17,7 @@ the host's stability.
 
 from repro.host.config import AccelOrg, SystemConfig
 from repro.host.system import build_system
+from repro.sim.simulator import DeadlockError
 from repro.testing.random_tester import RandomTester
 from repro.xg.permissions import PagePermission
 
@@ -28,6 +29,7 @@ class FuzzResult:
         self.host_crashed = False
         self.host_deadlocked = False
         self.crash_detail = ""
+        self.diagnosis = ""
         self.cpu_loads_checked = 0
         self.cpu_stores_committed = 0
         self.adversary_messages = 0
@@ -50,6 +52,7 @@ class FuzzResult:
             "violations_total": self.violations_total,
             "violations": dict(self.violations),
             "final_tick": self.final_tick,
+            "diagnosis": self.diagnosis,
         }
 
 
@@ -133,11 +136,12 @@ def run_fuzz_campaign(
         adversary_component.stop()
         tester.stop()
         system.sim.run()
-    except Exception as exc:  # noqa: BLE001 - any escape is a host crash
-        if "Deadlock" in type(exc).__name__:
-            result.host_deadlocked = True
-        else:
-            result.host_crashed = True
+    except DeadlockError as exc:
+        result.host_deadlocked = True
+        result.crash_detail = f"{type(exc).__name__}: {exc}"
+        result.diagnosis = exc.diagnose()
+    except Exception as exc:  # noqa: BLE001 - any other escape is a host crash
+        result.host_crashed = True
         result.crash_detail = f"{type(exc).__name__}: {exc}"
     result.cpu_loads_checked = tester.loads_checked
     result.cpu_stores_committed = tester.stores_committed

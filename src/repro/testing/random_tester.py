@@ -70,11 +70,17 @@ class RandomTester:
         check_data=True,
         accel_read_only=(),
         accel_seq_names=(),
+        unchecked_blocks=(),
     ):
         # check_data=False turns off value checking for pools a misbehaving
         # accelerator may legally corrupt (paper Section 2.2.1): only
         # liveness/latency are measured there.
         self.check_data = check_data
+        # Blocks the accelerator writes with values the tester cannot
+        # model (e.g. contested blocks under payload-corrupting link
+        # faults): loads there still count toward liveness but skip the
+        # value assertion.
+        self.unchecked_blocks = set(unchecked_blocks)
         # Blocks the accelerator may only read (its pages are read-only):
         # accel sequencers issue loads there; CPUs still store, which
         # exercises XG's GetS_Only / retained-grant machinery under stress.
@@ -89,6 +95,7 @@ class RandomTester:
         self.ops_target = ops_target
         self.ops_issued = 0
         self.loads_checked = 0
+        self.loads_value_checked = 0
         self.stores_committed = 0
         self._locations = {}
         self._next_value = 1
@@ -182,11 +189,13 @@ class RandomTester:
             # The completing cache returns its own block (which may be
             # wider than the tester's 64B view); index by full address.
             observed = data.read_byte(msg.addr % data.size)
-            if self.check_data and observed not in open_load.acceptable:
-                raise DataCheckError(
-                    f"addr {msg.addr:#x}: loaded {observed}, acceptable "
-                    f"{sorted(open_load.acceptable)} (tick {self.sim.tick})"
-                )
+            if self.check_data and (msg.addr - offset) not in self.unchecked_blocks:
+                if observed not in open_load.acceptable:
+                    raise DataCheckError(
+                        f"addr {msg.addr:#x}: loaded {observed}, acceptable "
+                        f"{sorted(open_load.acceptable)} (tick {self.sim.tick})"
+                    )
+                self.loads_value_checked += 1
             self.loads_checked += 1
 
         return on_done
@@ -197,6 +206,7 @@ class RandomTester:
         return {
             "ops_issued": self.ops_issued,
             "loads_checked": self.loads_checked,
+            "loads_value_checked": self.loads_value_checked,
             "stores_committed": self.stores_committed,
             "final_tick": self.sim.tick,
         }

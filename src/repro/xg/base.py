@@ -17,6 +17,8 @@ Transaction kinds (at most one open per accelerator block address):
   accelerator, with a G2c timeout armed.
 """
 
+from collections import deque
+
 from repro.coherence.controller import CONSUMED, RETRY, STALL, CoherenceController
 from repro.coherence.tbe import TBETable
 from repro.memory.datablock import DataBlock, block_align
@@ -74,6 +76,7 @@ class CrossingGuardBase(CoherenceController):
         error_log=None,
         rate_limiter=None,
         accel_timeout=20000,
+        probe_retries=0,
         suppress_puts=False,
         block_size=64,
     ):
@@ -86,10 +89,21 @@ class CrossingGuardBase(CoherenceController):
         self.error_log = error_log if error_log is not None else XGErrorLog()
         self.rate_limiter = rate_limiter or RateLimiter()
         self.accel_timeout = accel_timeout
+        #: times a silent Invalidate is re-issued (with doubling backoff)
+        #: before the G2c surrogate fires. 0 = the paper's single-shot
+        #: timeout; >0 hardens against a lossy accel link.
+        self.probe_retries = probe_retries
         self.suppress_puts = suppress_puts
         self.block_size = block_size
         self.accel_name = None
         self.tbes = TBETable(name=name)
+        # Link-fault hardening: recently consumed accel message uids, so a
+        # network-duplicated request/response is sunk instead of tripping
+        # G1b/G2b spuriously; plus per-address absorption budgets for the
+        # extra responses our own Invalidate retries can legitimately evoke.
+        self._seen_uids = set()
+        self._seen_uid_ring = deque()
+        self._absorb_responses = {}  # addr -> [remaining, deadline_tick]
         #: Full State mirror directory: addr -> MirrorEntry
         self.mirror = {} if variant is XGVariant.FULL_STATE else None
         self.mirror_high_water = 0
@@ -170,13 +184,36 @@ class CrossingGuardBase(CoherenceController):
         if self.mirror is not None:
             self.mirror.pop(self.align(addr), None)
 
+    # -- duplicate suppression (unreliable accel link) -----------------------------------
+
+    #: how many consumed accel-message uids to remember for dedupe.
+    DEDUPE_RING = 256
+
+    def _mark_seen(self, uid):
+        if uid in self._seen_uids:
+            return
+        self._seen_uids.add(uid)
+        self._seen_uid_ring.append(uid)
+        while len(self._seen_uid_ring) > self.DEDUPE_RING:
+            self._seen_uids.discard(self._seen_uid_ring.popleft())
+
     # -- main dispatch --------------------------------------------------------------------
 
     def handle_message(self, port, msg):
-        if port == "accel_request":
-            return self._handle_accel_request(msg)
-        if port == "accel_response":
-            return self._handle_accel_response(msg)
+        if port in ("accel_request", "accel_response"):
+            if msg.uid in self._seen_uids:
+                # Exact wire duplicate (link-layer replay): the original
+                # was already consumed — sink it silently rather than
+                # reporting a spurious G1b/G2b against the accelerator.
+                self.stats.inc(f"duplicates_sunk.{port}")
+                return CONSUMED
+            if port == "accel_request":
+                outcome = self._handle_accel_request(msg)
+            else:
+                outcome = self._handle_accel_response(msg)
+            if outcome == CONSUMED:
+                self._mark_seen(msg.uid)
+            return outcome
         return self.handle_host_message(port, msg)
 
     def handle_host_message(self, port, msg):
@@ -340,6 +377,9 @@ class CrossingGuardBase(CoherenceController):
     def _handle_accel_response(self, msg):
         addr = self.align(msg.addr)
         if msg.mtype not in ACCEL_RESPONSES:
+            if self.error_log.accel_disabled:
+                self.stats.inc("dropped_disabled")
+                return CONSUMED
             self.report(
                 Guarantee.G2B_TRANSIENT_RESPONSE,
                 addr,
@@ -348,6 +388,13 @@ class CrossingGuardBase(CoherenceController):
             return CONSUMED
         tbe = self.tbes.lookup(addr)
         if tbe is None or tbe.meta.get("kind") != "probe":
+            if self._absorb_retry_echo(addr):
+                return CONSUMED
+            if self.error_log.accel_disabled:
+                # Quarantine: open transactions drain above; anything
+                # unmatched from a disabled accelerator is just dropped.
+                self.stats.inc("dropped_disabled")
+                return CONSUMED
             self.report(
                 Guarantee.G2B_TRANSIENT_RESPONSE,
                 addr,
@@ -430,9 +477,39 @@ class CrossingGuardBase(CoherenceController):
             return True, entry.retained_data.copy(), entry.retained_dirty
         return got_wb, data, dirty
 
+    def _absorb_retry_echo(self, addr):
+        """Sink one extra response our own Invalidate retries provoked.
+
+        Each re-issued Invalidate may evoke its own answer; only one
+        response closes the probe, so up to ``attempts`` trailing echoes
+        are expected traffic, not a G2b violation. The budget expires so
+        it can never mask a genuinely spurious response indefinitely.
+        """
+        budget = self._absorb_responses.get(addr)
+        if budget is None:
+            return False
+        remaining, deadline = budget
+        if self.sim.tick > deadline or remaining <= 0:
+            del self._absorb_responses[addr]
+            return False
+        budget[0] = remaining - 1
+        if budget[0] == 0:
+            del self._absorb_responses[addr]
+        self.stats.inc("retry_echoes_absorbed")
+        return True
+
     def _close_probe(self, addr, tbe):
+        timeout = tbe.meta.get("timeout_event")
+        if timeout is not None:
+            timeout.cancel()
         if addr in self.tbes:
             self.tbes.deallocate(addr)
+        attempts = tbe.meta.get("probe_attempts", 0)
+        if attempts:
+            self._absorb_responses[addr] = [
+                attempts,
+                self.sim.tick + max(8 * self.accel_timeout, 1),
+            ]
         relinquish = tbe.meta.pop("relinquish", None)
         if relinquish is not None:
             # Must happen before stalled accelerator requests wake so they
@@ -502,6 +579,12 @@ class CrossingGuardBase(CoherenceController):
         self.mirror_remove(addr)
         self.host_answer_probe(addr, tbe, got_wb=got_wb, data=data, dirty=dirty)
         tbe.meta["race_resolved"] = True
+        # The trailing InvAck (or the Invalidate that provokes it) can be
+        # lost on an unreliable link; bound the wait so this probe TBE —
+        # and every request stalled behind it — cannot wedge forever.
+        tbe.meta["timeout_event"] = self.sim.schedule(
+            self.accel_timeout, self._probe_timeout, addr
+        )
         return CONSUMED
 
     # -- probes toward the accelerator -------------------------------------------------------------------
@@ -519,6 +602,14 @@ class CrossingGuardBase(CoherenceController):
         tbe.meta["context"] = context
         mirror = self.mirror_entry(addr)
         tbe.meta["mirror_owned"] = bool(mirror is not None and mirror.accel_state == "O")
+        if self.error_log.accel_disabled:
+            # Quarantine: never probe a disabled accelerator — synthesize
+            # the surrogate on the next tick so the host is not held
+            # hostage for a timeout that cannot possibly be answered.
+            tbe.meta["quarantined"] = True
+            tbe.meta["timeout_event"] = self.sim.schedule(1, self._probe_timeout, addr)
+            self.stats.inc("quarantine_surrogates")
+            return tbe
         self.send_to_accel(AccelMsg.Invalidate, addr)
         tbe.meta["timeout_event"] = self.sim.schedule(
             self.accel_timeout, self._probe_timeout, addr
@@ -528,11 +619,48 @@ class CrossingGuardBase(CoherenceController):
 
     def _probe_timeout(self, addr):
         tbe = self.tbes.lookup(addr)
-        if tbe is None or tbe.meta.get("kind") != "probe" or tbe.meta.get("race_resolved"):
+        if tbe is None or tbe.meta.get("kind") != "probe":
             return
-        self.report(
-            Guarantee.G2C_TIMEOUT, addr, "accelerator did not answer an Invalidate in time"
-        )
+        if tbe.meta.get("race_resolved"):
+            # The probe was already answered via the racing Put; only the
+            # trailing InvAck was outstanding and the link ate it. No host
+            # obligation remains — close quietly and budget one late echo
+            # in case the ack is merely delayed.
+            self.stats.inc("trailing_ack_timeouts")
+            self._close_probe(addr, tbe)
+            self._absorb_responses[addr] = [
+                tbe.meta.get("probe_attempts", 0) + 1,
+                self.sim.tick + max(8 * self.accel_timeout, 1),
+            ]
+            return
+        attempts = tbe.meta.get("probe_attempts", 0)
+        quarantined = tbe.meta.get("quarantined", False)
+        if (
+            not quarantined
+            and not self.error_log.accel_disabled
+            and attempts < self.probe_retries
+        ):
+            # Retry with bounded doubling backoff: the Invalidate (or its
+            # answer) may simply have been lost on an unreliable link.
+            tbe.meta["probe_attempts"] = attempts + 1
+            self.stats.inc("probe_retries")
+            self.send_to_accel(AccelMsg.Invalidate, addr)
+            wait = min(self.accel_timeout * (2 ** (attempts + 1)), 8 * self.accel_timeout)
+            tbe.meta["timeout_event"] = self.sim.schedule(wait, self._probe_timeout, addr)
+            return
+        if quarantined:
+            self.report(
+                Guarantee.G2C_TIMEOUT,
+                addr,
+                "accelerator quarantined (disabled); surrogate response",
+            )
+        else:
+            self.report(
+                Guarantee.G2C_TIMEOUT,
+                addr,
+                "accelerator did not answer an Invalidate in time"
+                + (f" ({attempts + 1} attempts)" if attempts else ""),
+            )
         needs_data = tbe.meta["needs_data"]
         owned = tbe.meta.get("mirror_owned", False)
         got_wb = needs_data or owned

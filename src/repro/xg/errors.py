@@ -34,6 +34,16 @@ class XGError:
         self.description = description
         self.accel = accel
 
+    def as_dict(self):
+        """Machine-readable record (what an OS driver would log)."""
+        return {
+            "tick": self.tick,
+            "guarantee": self.guarantee.name,
+            "addr": self.addr,
+            "description": self.description,
+            "accel": self.accel,
+        }
+
     def __repr__(self):
         return (
             f"XGError(t={self.tick}, {self.guarantee.name}, addr={self.addr:#x}, "
@@ -71,6 +81,16 @@ class XGErrorLog:
         for error in self.errors:
             counts[error.guarantee] = counts.get(error.guarantee, 0) + 1
         return counts
+
+    def as_dict(self):
+        """The whole log as plain data: summary plus every record."""
+        return {
+            "count": len(self.errors),
+            "accel_disabled": self.accel_disabled,
+            "disable_after": self.disable_after,
+            "by_guarantee": {g.name: n for g, n in self.by_guarantee().items()},
+            "errors": [error.as_dict() for error in self.errors],
+        }
 
     def __len__(self):
         return len(self.errors)

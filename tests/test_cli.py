@@ -30,6 +30,27 @@ def test_fuzz_command_safe(capsys):
     assert "host_safe: True" in out
 
 
+def test_chaos_command_safe(capsys):
+    assert main([
+        "chaos", "--duration", "10000", "--cpu-ops", "200", "--rate", "0.2",
+        "--accel-timeout", "1500", "--probe-retries", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "host_safe: True" in out
+    assert "faults_total:" in out
+
+
+def test_chaos_command_blackhole_and_disable(capsys):
+    assert main([
+        "chaos", "--duration", "12000", "--cpu-ops", "200", "--rate", "0.1",
+        "--blackhole", "3000:6000", "--accel-timeout", "1500",
+        "--adversary", "fuzz", "--disable-after", "5",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "host_safe: True" in out
+    assert "OS error log:" in out
+
+
 def test_experiment_e1(capsys):
     assert main(["experiment", "e1"]) == 0
     assert "Table 1" in capsys.readouterr().out

@@ -1,0 +1,103 @@
+"""Tests for machine-readable error reporting and deadlock forensics.
+
+Covers ``XGError.as_dict`` / ``XGErrorLog.as_dict``, the CLI-facing
+``format_error_log`` table, and ``DeadlockError.diagnose`` against a
+synthetic stuck component.
+"""
+
+import pytest
+
+from repro.eval.report import format_error_log
+from repro.sim.component import Component
+from repro.sim.network import FixedLatency, Network
+from repro.sim.simulator import DeadlockError, Simulator
+from repro.xg.errors import Guarantee, XGErrorLog
+from repro.xg.interface import AccelMsg
+
+from tests.helpers import RawAgent
+
+
+def _filled_log(disable_after=None):
+    log = XGErrorLog(disable_after=disable_after)
+    log.report(10, Guarantee.G0A_READ_PERMISSION, 0x1000, "GetS without read permission",
+               accel="adversary")
+    log.report(25, Guarantee.G2C_TIMEOUT, 0x2000, "no answer in time", accel="adversary")
+    return log
+
+
+def test_xg_error_as_dict_round_trips_fields():
+    log = _filled_log()
+    record = log.errors[0].as_dict()
+    assert record == {
+        "tick": 10,
+        "guarantee": "G0A_READ_PERMISSION",
+        "addr": 0x1000,
+        "description": "GetS without read permission",
+        "accel": "adversary",
+    }
+
+
+def test_error_log_as_dict_summary_and_records():
+    log = _filled_log(disable_after=2)
+    report = log.as_dict()
+    assert report["count"] == 2
+    assert report["accel_disabled"] is True
+    assert report["disable_after"] == 2
+    assert report["by_guarantee"] == {"G0A_READ_PERMISSION": 1, "G2C_TIMEOUT": 1}
+    assert [r["tick"] for r in report["errors"]] == [10, 25]
+
+
+def test_format_error_log_renders_table():
+    text = format_error_log(_filled_log())
+    assert "OS error log: 2 records, accel_disabled=False" in text
+    assert "G2C_TIMEOUT" in text
+    assert "0x1000" in text
+    assert "adversary" in text
+
+
+def test_format_error_log_truncates_to_newest():
+    log = XGErrorLog()
+    for i in range(30):
+        log.report(i, Guarantee.G1A_STABLE_REQUEST, 0x40 * i, f"violation {i}")
+    text = format_error_log(log, limit=5)
+    assert "showing last 5" in text
+    assert "violation 29" in text
+    assert "violation 24" not in text
+
+
+# -- DeadlockError.diagnose --------------------------------------------------------
+
+
+class _StuckComponent(Component):
+    """Accepts deliveries and never processes them."""
+
+    PORTS = ("request",)
+
+    def wakeup(self):
+        pass  # the point: pending work is never consumed
+
+
+def test_diagnose_names_culprit_queues_and_trace():
+    sim = Simulator(seed=0)
+    net = Network(sim, FixedLatency(1), name="host")
+    stuck = _StuckComponent(sim, "stuck")
+    net.attach(stuck)
+    src = RawAgent(sim, "src", net)
+    src.send(AccelMsg.GetS, 0x7000, "stuck", "request")
+    with pytest.raises(DeadlockError) as excinfo:
+        sim.run()
+    report = excinfo.value.diagnose()
+    assert "stuck has work pending" in report
+    assert "-- components with pending work --" in report
+    assert "<-- watchdog tripped here" in report
+    assert "queues={'request': 1}" in report
+    assert "-- last 1 network messages" in report
+    assert "GetS 0x7000 src->stuck" in report
+
+
+def test_diagnose_without_simulator_degrades_gracefully():
+    class _Fake:
+        name = "ghost"
+
+    error = DeadlockError(_Fake(), 5, 100)
+    assert "diagnosis unavailable" in error.diagnose()

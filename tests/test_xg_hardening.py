@@ -1,0 +1,229 @@
+"""Unit tests for Crossing Guard's unreliable-link hardening.
+
+Scripted RawAgents drive the retry-with-backoff probe path, wire-duplicate
+suppression, retry-echo absorption, the bounded trailing-ack wait after a
+Put/Invalidate race, and the quarantine that enforces
+``XGErrorLog.accel_disabled`` end to end.
+"""
+
+from repro.memory.datablock import DataBlock
+from repro.protocols.mesi.messages import MesiMsg
+from repro.sim.message import Message
+from repro.sim.network import FixedLatency, Network
+from repro.sim.simulator import Simulator
+from repro.xg.errors import Guarantee, XGErrorLog
+from repro.xg.interface import AccelMsg, XGVariant
+from repro.xg.mesi_xg import MesiCrossingGuard
+from repro.xg.permissions import PagePermission, PermissionTable
+
+from tests.helpers import RawAgent
+
+ADDR = 0x4000
+OTHER = 0x8000
+
+
+def _build(probe_retries=0, accel_timeout=100, disable_after=None,
+           variant=XGVariant.FULL_STATE):
+    sim = Simulator(seed=0)
+    host_net = Network(sim, FixedLatency(1), name="host")
+    accel_net = Network(sim, FixedLatency(1), ordered=True, name="accel")
+    xg = MesiCrossingGuard(
+        sim, "xg", host_net, accel_net, "l2",
+        variant=variant,
+        permissions=PermissionTable(default=PagePermission.READ_WRITE),
+        error_log=XGErrorLog(disable_after=disable_after),
+        accel_timeout=accel_timeout,
+        probe_retries=probe_retries,
+    )
+    host_net.attach(xg)
+    accel_net.attach(xg)
+    l2 = RawAgent(sim, "l2", host_net)
+    RawAgent(sim, "l1.peer", host_net)
+    accel = RawAgent(sim, "accel", accel_net)
+    xg.attach_accelerator("accel")
+    return sim, xg, l2, accel
+
+
+def _block(value=0):
+    data = DataBlock()
+    data.write_byte(0, value)
+    return data
+
+
+def _step(sim, ticks=50):
+    sim.run(max_ticks=sim.tick + ticks, final_check=False)
+
+
+def _grant_owned(sim, l2, accel, addr=ADDR):
+    """Drive a GetM to completion so the accelerator owns ``addr``."""
+    accel.send(AccelMsg.GetM, addr, "xg", "accel_request")
+    _step(sim)
+    l2.send(MesiMsg.DataM, addr, "xg", "response", data=_block(3))
+    _step(sim)
+    assert accel.of_type(AccelMsg.DataM)
+
+
+def _probe(sim, l2, addr=ADDR):
+    l2.send(MesiMsg.Fwd_GetM, addr, "xg", "forward", requestor="l1.peer")
+    _step(sim, 10)
+
+
+# -- retry with bounded backoff ----------------------------------------------------
+
+
+def test_probe_retry_reissues_invalidate_then_answer_lands():
+    sim, xg, l2, accel = _build(probe_retries=2, accel_timeout=100)
+    _grant_owned(sim, l2, accel)
+    _probe(sim, l2)
+    assert len(accel.of_type(AccelMsg.Invalidate)) == 1
+    # First timeout expires: the Invalidate is re-issued, no surrogate yet.
+    _step(sim, 150)
+    assert len(accel.of_type(AccelMsg.Invalidate)) == 2
+    assert xg.stats.get("probe_retries") == 1
+    assert xg.error_log.count(Guarantee.G2C_TIMEOUT) == 0
+    # The (late) answer to the retry closes the probe normally.
+    accel.send(AccelMsg.DirtyWB, ADDR, "xg", "accel_response",
+               data=_block(9), dirty=True)
+    sim.run()
+    peer = sim.component("l1.peer")
+    assert peer.of_type(MesiMsg.DataM)
+    assert xg.error_log.count(Guarantee.G2C_TIMEOUT) == 0
+    assert xg.tbes.lookup(ADDR) is None
+
+
+def test_probe_retry_exhaustion_reports_single_g2c_surrogate():
+    sim, xg, l2, accel = _build(probe_retries=2, accel_timeout=100)
+    _grant_owned(sim, l2, accel)
+    _probe(sim, l2)
+    sim.run()  # the accelerator never answers
+    assert len(accel.of_type(AccelMsg.Invalidate)) == 3  # original + 2 retries
+    assert xg.stats.get("probe_retries") == 2
+    assert xg.error_log.count(Guarantee.G2C_TIMEOUT) == 1
+    (error,) = [e for e in xg.error_log if e.guarantee is Guarantee.G2C_TIMEOUT]
+    assert "3 attempts" in error.description
+    peer = sim.component("l1.peer")
+    assert peer.of_type(MesiMsg.DataM), "surrogate must still answer the host"
+    assert xg.tbes.lookup(ADDR) is None
+
+
+def test_zero_retries_keeps_paper_single_shot_timeout():
+    sim, xg, l2, accel = _build(probe_retries=0, accel_timeout=100)
+    _grant_owned(sim, l2, accel)
+    _probe(sim, l2)
+    sim.run()
+    assert len(accel.of_type(AccelMsg.Invalidate)) == 1
+    assert xg.error_log.count(Guarantee.G2C_TIMEOUT) == 1
+
+
+# -- wire-duplicate suppression ----------------------------------------------------
+
+
+def test_duplicated_request_sunk_not_g1b():
+    sim, xg, l2, accel = _build()
+    msg = Message(AccelMsg.GetS, ADDR, sender="accel", dest="xg")
+    accel.net.send(msg, "accel_request")
+    accel.net.send(msg.clone(), "accel_request")  # link-layer replay
+    _step(sim)
+    assert len(l2.of_type(MesiMsg.GetS)) == 1, "host sees the request once"
+    assert xg.stats.get("duplicates_sunk.accel_request") == 1
+    assert xg.error_log.count(Guarantee.G1B_TRANSIENT_REQUEST) == 0
+
+
+def test_duplicated_response_sunk_not_g2b():
+    sim, xg, l2, accel = _build()
+    _grant_owned(sim, l2, accel)
+    _probe(sim, l2)
+    msg = Message(AccelMsg.DirtyWB, ADDR, sender="accel", dest="xg",
+                  data=_block(9), dirty=True)
+    accel.net.send(msg, "accel_response")
+    accel.net.send(msg.clone(), "accel_response")
+    sim.run()
+    assert xg.stats.get("duplicates_sunk.accel_response") == 1
+    assert xg.error_log.count(Guarantee.G2B_TRANSIENT_RESPONSE) == 0
+
+
+def test_distinct_spurious_response_still_reported():
+    """Dedupe must not swallow genuinely new spurious responses."""
+    sim, xg, l2, accel = _build()
+    accel.send(AccelMsg.InvAck, ADDR, "xg", "accel_response")
+    _step(sim)
+    assert xg.error_log.count(Guarantee.G2B_TRANSIENT_RESPONSE) == 1
+
+
+# -- retry-echo absorption ---------------------------------------------------------
+
+
+def test_echo_of_retried_invalidate_absorbed():
+    sim, xg, l2, accel = _build(probe_retries=2, accel_timeout=100)
+    _grant_owned(sim, l2, accel)
+    _probe(sim, l2)
+    _step(sim, 150)  # one retry fired: two Invalidates in flight
+    assert xg.stats.get("probe_retries") == 1
+    # The accelerator answers both copies (distinct messages, not replays).
+    accel.send(AccelMsg.DirtyWB, ADDR, "xg", "accel_response",
+               data=_block(5), dirty=True)
+    accel.send(AccelMsg.DirtyWB, ADDR, "xg", "accel_response",
+               data=_block(5), dirty=True)
+    sim.run()
+    assert xg.stats.get("retry_echoes_absorbed") == 1
+    assert xg.error_log.count(Guarantee.G2B_TRANSIENT_RESPONSE) == 0
+
+
+# -- bounded trailing-ack wait after a Put/Invalidate race -------------------------
+
+
+def test_lost_trailing_invack_cannot_wedge_race_resolved_probe():
+    sim, xg, l2, accel = _build(accel_timeout=100)
+    _grant_owned(sim, l2, accel)
+    _probe(sim, l2)
+    # The accelerator's PutM crosses our Invalidate: the race resolves the
+    # probe; only the trailing InvAck remains outstanding — and the link
+    # eats it. The bounded wait must close the probe anyway.
+    accel.send(AccelMsg.PutM, ADDR, "xg", "accel_request",
+               data=_block(7), dirty=True)
+    sim.run()
+    assert xg.stats.get("put_inv_races") == 1
+    assert xg.stats.get("trailing_ack_timeouts") == 1
+    assert xg.tbes.lookup(ADDR) is None, "probe TBE must not wedge"
+    # A merely-delayed trailing InvAck is absorbed, not reported as G2b.
+    accel.send(AccelMsg.InvAck, ADDR, "xg", "accel_response")
+    sim.run()
+    assert xg.error_log.count(Guarantee.G2B_TRANSIENT_RESPONSE) == 0
+    assert xg.stats.get("retry_echoes_absorbed") == 1
+
+
+# -- quarantine: accel_disabled enforced end to end --------------------------------
+
+
+def test_quarantine_drops_requests_and_serves_surrogate_probes():
+    sim, xg, l2, accel = _build(disable_after=1, accel_timeout=100)
+    _grant_owned(sim, l2, accel)
+    # One spurious response trips the OS disable policy.
+    accel.send(AccelMsg.InvAck, OTHER, "xg", "accel_response")
+    _step(sim)
+    assert xg.error_log.accel_disabled
+    # Further requests are dropped at the crossing: no host traffic.
+    host_msgs_before = len(l2.received)
+    errors_before = len(xg.error_log)
+    accel.send(AccelMsg.GetM, OTHER, "xg", "accel_request")
+    accel.send(AccelMsg.GetS, OTHER + 0x40, "xg", "accel_request")
+    _step(sim)
+    assert xg.stats.get("dropped_disabled") >= 2
+    assert len(l2.received) == host_msgs_before
+    assert len(xg.error_log) == errors_before, "drops are silent, not new errors"
+    # Host probes of blocks the accelerator still holds never wait for the
+    # dead accelerator: a fast surrogate answers on its behalf.
+    invalidates_before = len(accel.of_type(AccelMsg.Invalidate))
+    _probe(sim, l2)
+    sim.run()
+    assert xg.stats.get("quarantine_surrogates") == 1
+    assert len(accel.of_type(AccelMsg.Invalidate)) == invalidates_before
+    peer = sim.component("l1.peer")
+    assert peer.of_type(MesiMsg.DataM), "host must still get its answer"
+    assert any(
+        "quarantined" in e.description for e in xg.error_log
+        if e.guarantee is Guarantee.G2C_TIMEOUT
+    )
+    # And the system quiesces: no open TBEs, nothing stalled.
+    assert xg.tbes.lookup(ADDR) is None
+    assert xg.stalled_count() == 0
