@@ -6,6 +6,7 @@ Commands:
 * ``stress``      — Section 4.1 random stress over the 12 configurations;
 * ``fuzz``        — byzantine-accelerator safety campaign;
 * ``chaos``       — fault-injected interconnect campaign (drop/dup/delay/corrupt);
+* ``bench``       — engine events/sec microbenchmark + campaign wall-clock;
 * ``verify``      — exhaustive single-address interface verification;
 * ``perf``        — runtime comparison of the cache organizations;
 * ``experiment``  — run one of the table/figure experiments (e1..e12).
@@ -49,9 +50,17 @@ def _cmd_demo(args):
 
 
 def _cmd_stress(args):
+    import time
+
+    from repro.eval.campaign import resolve_workers
     from repro.eval.experiments import run_stress_coverage
 
-    result = run_stress_coverage(seeds=range(args.seeds), ops_per_run=args.ops)
+    workers = resolve_workers(args.workers)
+    start = time.perf_counter()
+    result = run_stress_coverage(
+        seeds=range(args.seeds), ops_per_run=args.ops, workers=workers
+    )
+    elapsed = time.perf_counter() - start
     failures = [r for r in result["runs"] if not r["passed"]]
     print(
         format_table(
@@ -60,12 +69,65 @@ def _cmd_stress(args):
                 (c["controller"], c["visited"], c["possible"], f"{c['fraction']:.1%}")
                 for c in result["coverage"]
             ],
-            title=f"{len(result['runs'])} stress runs, {len(failures)} failures",
+            title=(
+                f"{len(result['runs'])} stress runs, {len(failures)} failures "
+                f"({workers} worker{'s' if workers != 1 else ''}, {elapsed:.1f}s)"
+            ),
         )
     )
     for failure in failures:
         print("FAIL:", failure["config"], "seed", failure["seed"], failure["detail"])
+        if failure.get("diagnosis"):
+            print(failure["diagnosis"])
     return 1 if failures else 0
+
+
+def _cmd_bench(args):
+    import json
+
+    from repro.eval.profiling import engine_benchmark_report
+
+    report = engine_benchmark_report(
+        scale=args.scale,
+        seed=args.seed,
+        include_campaign=not args.no_campaign,
+        workers=args.workers,
+        repeats=args.repeats,
+    )
+    rows = [
+        (name, w["events"], w["final_tick"], f"{w['seconds']:.3f}",
+         f"{w['events_per_sec']:,.0f}")
+        for name, w in report["workloads"].items()
+    ]
+    rows.append(
+        ("TOTAL", report["events"], "-", f"{report['seconds']:.3f}",
+         f"{report['events_per_sec']:,.0f}")
+    )
+    print(
+        format_table(
+            ["workload", "events", "final tick", "seconds", "events/sec"],
+            rows,
+            title="engine throughput (synthetic mix)",
+        )
+    )
+    if "campaign" in report:
+        print()
+        print(
+            format_table(
+                ["workers", "seconds", "runs", "speedup"],
+                [
+                    (r["workers"], f"{r['seconds']:.2f}", r["runs"],
+                     f"{r['speedup_vs_serial']:.2f}x" if r["speedup_vs_serial"] else "-")
+                    for r in report["campaign"]["rows"]
+                ],
+                title="campaign wall-clock",
+            )
+        )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"\nwrote {args.out}")
+    return 0
 
 
 def _cmd_fuzz(args):
@@ -306,7 +368,24 @@ def build_parser():
     stress = sub.add_parser("stress", help="random protocol stress (Section 4.1)")
     stress.add_argument("--seeds", type=int, default=2)
     stress.add_argument("--ops", type=int, default=1500)
+    stress.add_argument("--workers", type=int, default=None,
+                        help="parallel campaign processes (default: cpu count; "
+                             "1 = in-process, best for debugging)")
     stress.set_defaults(fn=_cmd_stress)
+
+    bench = sub.add_parser("bench", help="engine events/sec + campaign wall-clock")
+    bench.add_argument("--scale", type=int, default=1)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timing repeats per workload (best is kept)")
+    bench.add_argument("--workers", type=int, default=None,
+                       help="parallel worker count for the campaign half "
+                            "(default: cpu count)")
+    bench.add_argument("--no-campaign", action="store_true",
+                       help="skip the campaign wall-clock comparison")
+    bench.add_argument("--out", default=None, metavar="PATH",
+                       help="write the BENCH_engine.json payload here")
+    bench.set_defaults(fn=_cmd_bench)
 
     fuzz = sub.add_parser("fuzz", help="byzantine accelerator safety campaign")
     fuzz.add_argument("--host", default="mesi", choices=["mesi", "hammer", "mesif"])

@@ -6,6 +6,12 @@ shape the paper reports.
 """
 
 from repro.eval.report import format_table, normalize_rows
+from repro.eval.campaign import (
+    CampaignJob,
+    CampaignOutcome,
+    resolve_workers,
+    run_campaign,
+)
 from repro.eval.experiments import (
     run_table1_accel_l1,
     run_complexity_comparison,
@@ -13,6 +19,10 @@ from repro.eval.experiments import (
     run_fuzz_matrix,
 )
 from repro.eval.perf import run_perf_sweep
+from repro.eval.profiling import (
+    engine_benchmark_report,
+    run_engine_microbench,
+)
 from repro.eval.overheads import (
     run_storage_comparison,
     run_puts_overhead,
@@ -22,9 +32,15 @@ from repro.eval.overheads import (
 )
 
 __all__ = [
+    "CampaignJob",
+    "CampaignOutcome",
+    "engine_benchmark_report",
     "format_table",
     "normalize_rows",
+    "resolve_workers",
     "run_block_translation",
+    "run_campaign",
+    "run_engine_microbench",
     "run_complexity_comparison",
     "run_fuzz_matrix",
     "run_perf_sweep",

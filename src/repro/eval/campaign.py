@@ -1,0 +1,144 @@
+"""Process-pool campaign executor: independent simulations across cores.
+
+Every campaign in this repo — stress coverage (E3), fuzz safety (E4),
+chaos sweeps, perf sweeps — is a loop over fully independent
+``(config, seed)`` simulations. This module is the one place that loop
+learns to fan out:
+
+* jobs are picklable ``(runner, args, kwargs, label)`` specs executed by
+  a :class:`concurrent.futures.ProcessPoolExecutor` worker;
+* every worker runs with **full error capture**: a
+  :class:`~repro.sim.simulator.DeadlockError` is converted worker-side
+  into its :meth:`~repro.sim.simulator.DeadlockError.diagnose` forensic
+  text (the exception object itself drags the whole simulator along and
+  cannot cross a pipe), any other exception into type + message +
+  traceback — a worker never hangs or poisons the pool;
+* results come back **in submission order** (``Executor.map``), so a
+  parallel campaign's merged output is byte-identical to the serial one —
+  the determinism property tests rest on that;
+* ``workers=1`` (the default everywhere) runs jobs in-process with the
+  exact same code path, preserving today's debuggable serial behavior.
+
+Pass ``workers=None`` for ``os.cpu_count()``.
+"""
+
+import os
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.sim.simulator import DeadlockError
+
+
+@dataclass(frozen=True)
+class CampaignJob:
+    """One unit of campaign work: ``runner(*args, **kwargs)``.
+
+    ``runner`` must be a module-level callable and ``args``/``kwargs``
+    picklable — the spec crosses a process boundary when ``workers > 1``.
+    """
+
+    runner: object
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    label: str = ""
+
+
+@dataclass
+class CampaignOutcome:
+    """What came back for one job, success or not.
+
+    ``value`` is the runner's return value when ``ok``; otherwise
+    ``error_type``/``error``/``traceback`` describe the escape, and
+    ``diagnosis`` carries :meth:`DeadlockError.diagnose` forensics when
+    the escape was a deadlock.
+    """
+
+    label: str
+    index: int
+    ok: bool
+    value: object = None
+    error_type: str = ""
+    error: str = ""
+    traceback: str = ""
+    diagnosis: str = ""
+
+    @property
+    def deadlocked(self):
+        return self.error_type == "DeadlockError"
+
+
+def resolve_workers(workers):
+    """Normalize a ``workers`` knob: None -> cpu_count, floor at 1."""
+    if workers is None:
+        workers = os.cpu_count() or 1
+    return max(1, int(workers))
+
+
+def _execute(indexed_job):
+    """Run one job with full error capture. Must never raise."""
+    index, job = indexed_job
+    try:
+        value = job.runner(*job.args, **job.kwargs)
+        return CampaignOutcome(label=job.label, index=index, ok=True, value=value)
+    except DeadlockError as exc:
+        return CampaignOutcome(
+            label=job.label,
+            index=index,
+            ok=False,
+            error_type="DeadlockError",
+            error=str(exc),
+            traceback=traceback.format_exc(),
+            diagnosis=exc.diagnose(),
+        )
+    except BaseException as exc:  # noqa: BLE001 - the pool must survive anything
+        return CampaignOutcome(
+            label=job.label,
+            index=index,
+            ok=False,
+            error_type=type(exc).__name__,
+            error=str(exc),
+            traceback=traceback.format_exc(),
+        )
+
+
+def run_campaign(jobs, workers=1, max_tasks_per_child=None):
+    """Execute ``jobs`` and return their outcomes in submission order.
+
+    ``workers <= 1`` runs in-process (same code path, trivially
+    debuggable); otherwise a process pool executes jobs concurrently and
+    ``Executor.map`` restores submission order, so downstream merging is
+    deterministic regardless of completion order. Worker-side failures —
+    including deadlocks, whose forensics are serialized as text — come
+    back as failed :class:`CampaignOutcome` rows, never as a hung or
+    broken pool.
+    """
+    jobs = list(jobs)
+    workers = resolve_workers(workers)
+    indexed = list(enumerate(jobs))
+    if workers == 1 or len(jobs) <= 1:
+        return [_execute(pair) for pair in indexed]
+    pool_kwargs = {}
+    if max_tasks_per_child is not None:
+        # py3.11+; bounded-memory knob for very long campaigns
+        pool_kwargs["max_tasks_per_child"] = max_tasks_per_child
+    with ProcessPoolExecutor(max_workers=min(workers, len(jobs)), **pool_kwargs) as pool:
+        return list(pool.map(_execute, indexed))
+
+
+def merge_failure_into(template, outcome):
+    """Fold a failed outcome into a result-row ``template`` dict.
+
+    Keeps campaign tables rectangular when a worker escapes outside the
+    job's own error handling: the row reports the crash with the same
+    keys a successful row would carry.
+    """
+    row = dict(template)
+    row["passed"] = False
+    row["host_safe"] = False
+    row["host_crashed"] = not outcome.deadlocked
+    row["host_deadlocked"] = outcome.deadlocked
+    row["crash_detail"] = f"{outcome.error_type}: {outcome.error}"
+    row["detail"] = row["crash_detail"]
+    row["diagnosis"] = outcome.diagnosis
+    return row

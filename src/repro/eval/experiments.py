@@ -1,7 +1,10 @@
 """Experiments E1-E4: Table 1, complexity, stress coverage, fuzz safety."""
 
+import dataclasses
+
 from repro.accel.l1_single import AL1Event, AL1State, AccelL1
 from repro.coherence.coverage import collect_coverage
+from repro.eval.campaign import CampaignJob, merge_failure_into, run_campaign
 from repro.host.config import AccelOrg, HostProtocol, SystemConfig
 from repro.host.system import build_system
 from repro.protocols.hammer.cache import HammerCache
@@ -9,8 +12,8 @@ from repro.protocols.hammer.messages import HammerMsg
 from repro.protocols.mesi.l1 import MesiL1
 from repro.protocols.mesi.messages import MesiMsg
 from repro.sim.network import Network, RandomLatency
-from repro.sim.simulator import Simulator
-from repro.testing.fuzzer import run_fuzz_campaign
+from repro.sim.simulator import DeadlockError, Simulator
+from repro.testing.fuzzer import FuzzResult, run_fuzz_campaign
 from repro.testing.random_tester import RandomTester
 from repro.xg.interface import AccelMsg, XGVariant
 
@@ -219,8 +222,6 @@ def _stress_jobs(seed, num_blocks):
     for host in (HostProtocol.MESI, HostProtocol.MESIF):
         for config in base:
             if config.host is host and config.org is AccelOrg.XG and config.accel_levels == 1:
-                import dataclasses
-
                 squeezed = dataclasses.replace(
                     config, shared_l2_sets=2, shared_l2_assoc=1
                 )
@@ -228,54 +229,117 @@ def _stress_jobs(seed, num_blocks):
     return jobs
 
 
-def run_stress_coverage(seeds=range(4), ops_per_run=2000, num_blocks=5):
+def _build_stress_tester(config, tester_kwargs, ops_per_run):
+    """Build one stress system + tester (shared by run and failure replay)."""
+    system = build_system(config)
+    kwargs = dict(tester_kwargs)
+    blocks = kwargs.pop("block_addrs")
+    ro_blocks = kwargs.pop("accel_read_only", None)
+    if ro_blocks:
+        from repro.xg.permissions import PagePermission
+
+        for permissions in system.permissions_list:
+            for addr in ro_blocks:
+                permissions.grant(addr, PagePermission.READ)
+        kwargs["accel_read_only"] = ro_blocks
+        kwargs["accel_seq_names"] = {s.name for s in system.accel_seqs}
+    tester = RandomTester(
+        system.sim, system.sequencers, blocks,
+        ops_target=ops_per_run, store_fraction=0.45, **kwargs,
+    )
+    return system, tester
+
+
+def _replay_for_diagnosis(config, tester_kwargs, ops_per_run):
+    """Re-run a deadlocked job with the trace ring enabled for forensics.
+
+    Campaign jobs run with ``trace_depth=0`` (recording disabled on the
+    hot path); determinism means the same seed reproduces the same wedge,
+    this time with the last-N message trace attached.
+    """
+    traced = dataclasses.replace(config, trace_depth=64)
+    _system, tester = _build_stress_tester(traced, tester_kwargs, ops_per_run)
+    try:
+        tester.run()
+    except DeadlockError as exc:
+        return exc.diagnose()
+    except Exception as exc:  # noqa: BLE001 - replay diverging is itself news
+        return f"replay raised {type(exc).__name__}: {exc} (expected DeadlockError)"
+    return "replay with tracing enabled did not reproduce the deadlock"
+
+
+def _run_stress_job(config, tester_kwargs, label, seed, ops_per_run):
+    """One (config, seed) stress simulation; returns (result row, coverage).
+
+    Runs worker-side under the campaign executor; everything returned is
+    plain picklable data. Failures never escape — a deadlock row carries
+    the forensic diagnosis from a traced deterministic replay.
+    """
+    system, tester = _build_stress_tester(config, tester_kwargs, ops_per_run)
+    outcome = {"config": label, "seed": seed, "passed": True, "detail": ""}
+    try:
+        tester.run()
+        outcome["loads_checked"] = tester.loads_checked
+        if system.error_log is not None and len(system.error_log):
+            outcome["passed"] = False
+            outcome["detail"] = f"{len(system.error_log)} spurious XG errors"
+    except DeadlockError as exc:
+        outcome["passed"] = False
+        outcome["detail"] = f"DeadlockError: {exc}"
+        outcome["loads_checked"] = tester.loads_checked
+        outcome["diagnosis"] = (
+            _replay_for_diagnosis(config, tester_kwargs, ops_per_run)
+            if system.sim.trace is None
+            else exc.diagnose()
+        )
+    except Exception as exc:  # noqa: BLE001 - report, don't hide
+        outcome["passed"] = False
+        outcome["detail"] = f"{type(exc).__name__}: {exc}"
+        outcome["loads_checked"] = tester.loads_checked
+    coverage = collect_coverage(
+        [c for c in system.sim.components if hasattr(c, "coverage")]
+    )
+    return outcome, coverage
+
+
+def run_stress_coverage(seeds=range(4), ops_per_run=2000, num_blocks=5, workers=1):
     """E3: random load/store/check over all 12 configs; coverage report.
 
     Returns per-config pass counts and per-controller-type coverage
     aggregated across all runs, as the paper's Section 4.1 reports.
+    ``workers`` fans the independent (config, seed) simulations out over
+    a process pool; results and coverage merge in submission order, so
+    any worker count produces byte-identical output.
     """
-    coverage = {}
-    results = []
+    campaign_jobs = []
     for seed in seeds:
         for config, tester_kwargs, suffix in _stress_jobs(seed, num_blocks):
-            system = build_system(config)
-            kwargs = dict(tester_kwargs)
-            blocks = kwargs.pop("block_addrs")
-            ro_blocks = kwargs.pop("accel_read_only", None)
-            if ro_blocks:
-                from repro.xg.permissions import PagePermission
-
-                for permissions in system.permissions_list:
-                    for addr in ro_blocks:
-                        permissions.grant(addr, PagePermission.READ)
-                kwargs["accel_read_only"] = ro_blocks
-                kwargs["accel_seq_names"] = {s.name for s in system.accel_seqs}
-            tester = RandomTester(
-                system.sim, system.sequencers, blocks,
-                ops_target=ops_per_run, store_fraction=0.45, **kwargs,
+            label = config.label + suffix
+            fast = dataclasses.replace(config, trace_depth=0)
+            campaign_jobs.append(
+                CampaignJob(
+                    runner=_run_stress_job,
+                    args=(fast, tester_kwargs, label, seed, ops_per_run),
+                    label=f"{label}/seed{seed}",
+                )
             )
-            outcome = {
-                "config": config.label + suffix, "seed": seed,
-                "passed": True, "detail": "",
-            }
-            try:
-                tester.run()
-                outcome["loads_checked"] = tester.loads_checked
-                if system.error_log is not None and len(system.error_log):
-                    outcome["passed"] = False
-                    outcome["detail"] = f"{len(system.error_log)} spurious XG errors"
-            except Exception as exc:  # noqa: BLE001 - report, don't hide
-                outcome["passed"] = False
-                outcome["detail"] = f"{type(exc).__name__}: {exc}"
-                outcome["loads_checked"] = tester.loads_checked
-            results.append(outcome)
-            for ctype, report in collect_coverage(
-                [c for c in system.sim.components if hasattr(c, "coverage")]
-            ).items():
-                if ctype in coverage:
-                    coverage[ctype].merge(report)
-                else:
-                    coverage[ctype] = report
+    coverage = {}
+    results = []
+    for outcome in run_campaign(campaign_jobs, workers=workers):
+        if not outcome.ok:
+            # the job's own error capture failed (worker died mid-build):
+            # surface it as a failed row rather than losing the run
+            results.append(
+                merge_failure_into({"config": outcome.label, "seed": None}, outcome)
+            )
+            continue
+        row, job_coverage = outcome.value
+        results.append(row)
+        for ctype, report in job_coverage.items():
+            if ctype in coverage:
+                coverage[ctype].merge(report)
+            else:
+                coverage[ctype] = report
     coverage_rows = [
         {
             "controller": ctype,
@@ -293,34 +357,58 @@ def run_stress_coverage(seeds=range(4), ops_per_run=2000, num_blocks=5):
 
 # -- E4: fuzz safety matrix ---------------------------------------------------------------------------
 
-def run_fuzz_matrix(seeds=range(3), duration=50_000, cpu_ops=1000):
+def _run_fuzz_job(host, variant, adversary, seed, duration, cpu_ops, protect):
+    """One fuzz campaign, worker-side; returns its (picklable) result row."""
+    result, _system = run_fuzz_campaign(
+        host,
+        variant,
+        adversary=adversary,
+        seed=seed,
+        duration=duration,
+        cpu_ops=cpu_ops,
+        protect_cpu_pages=protect,
+    )
+    data = result.as_dict()
+    data.update(host=host.name, variant=variant.name, adversary=adversary, seed=seed)
+    return data
+
+
+def run_fuzz_matrix(seeds=range(3), duration=50_000, cpu_ops=1000, workers=1):
     """E4: byzantine accelerators against every host x XG variant.
 
     The paper's claim: "this fuzz testing never leads to a crash or
     deadlock" — every row must have host_safe=True, and campaigns that
-    inject violations must show them reported to the OS.
+    inject violations must show them reported to the OS. ``workers``
+    fans the campaigns out over a process pool (submission-order merge:
+    output is identical for any worker count).
     """
-    rows = []
+    campaign_jobs = []
     for host in (HostProtocol.MESI, HostProtocol.HAMMER, HostProtocol.MESIF):
         for variant in (XGVariant.FULL_STATE, XGVariant.TRANSACTIONAL):
             for adversary in ("fuzz", "deaf", "wrong", "flood"):
                 for seed in seeds:
                     protect = adversary in ("fuzz",)
-                    result, _system = run_fuzz_campaign(
-                        host,
-                        variant,
-                        adversary=adversary,
-                        seed=seed,
-                        duration=duration,
-                        cpu_ops=cpu_ops,
-                        protect_cpu_pages=protect,
+                    campaign_jobs.append(
+                        CampaignJob(
+                            runner=_run_fuzz_job,
+                            args=(host, variant, adversary, seed, duration,
+                                  cpu_ops, protect),
+                            kwargs={},
+                            label=f"{host.name}/{variant.name}/{adversary}/seed{seed}",
+                        )
                     )
-                    data = result.as_dict()
-                    data.update(
-                        host=host.name,
-                        variant=variant.name,
-                        adversary=adversary,
-                        seed=seed,
-                    )
-                    rows.append(data)
+    rows = []
+    for outcome in run_campaign(campaign_jobs, workers=workers):
+        if outcome.ok:
+            rows.append(outcome.value)
+            continue
+        host_name, variant_name, adversary, seed_label = outcome.label.split("/")
+        template = FuzzResult().as_dict()
+        template.update(
+            host=host_name,
+            variant=variant_name,
+            adversary=adversary,
+            seed=int(seed_label[4:]) if seed_label[4:].isdigit() else None,
+        )
+        rows.append(merge_failure_into(template, outcome))
     return rows

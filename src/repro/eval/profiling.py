@@ -1,0 +1,299 @@
+"""Engine throughput profiling: events/sec microbenchmarks + campaign timing.
+
+The simulator kernel (event queue, component wakeups, network delivery)
+is the inner loop every experiment pays for; a campaign that runs 2x as
+many simulations per hour doubles the value of every harness in the
+repo. This module measures that kernel directly:
+
+* :func:`run_engine_microbench` — a synthetic workload mix exercising the
+  three hot paths (ordered ping-pong delivery, unordered out-of-order
+  arrival, wakeup cancel/reschedule churn) with *no* coherence protocol
+  on top, reporting raw events/sec;
+* :func:`campaign_wallclock` — end-to-end wall-clock of a small stress
+  campaign at different ``workers`` settings (the scaling figure);
+* :func:`profile_engine` — cProfile attribution for one workload, for
+  finding the next hot spot;
+* :func:`engine_benchmark_report` — the ``BENCH_engine.json``-compatible
+  dict the CI perf-smoke job archives.
+
+Events/sec depends on the machine, so reports carry the raw event and
+message counts too — those are deterministic for a given seed and can be
+compared exactly across engine versions.
+"""
+
+import cProfile
+import io
+import os
+import pstats
+import time
+
+from repro.sim.component import Component
+from repro.sim.message import Message
+from repro.sim.network import FixedLatency, Network, RandomLatency
+from repro.sim.simulator import Simulator
+
+
+class _Ponger(Component):
+    """One half of an ordered-link ping-pong pair."""
+
+    PORTS = ("inbox",)
+
+    def __init__(self, sim, name, net):
+        super().__init__(sim, name)
+        self.net = net
+        self.peer = None
+        self.budget = 0
+
+    def wakeup(self):
+        inbox = self.in_ports["inbox"]
+        while True:
+            msg = inbox.pop(self.sim.tick)
+            if msg is None:
+                return
+            if self.budget > 0:
+                self.budget -= 1
+                self.net.send(
+                    Message(msg.mtype, msg.addr, sender=self.name, dest=self.peer),
+                    "inbox",
+                )
+
+
+class _Sink(Component):
+    """Counts arrivals; used by the unordered storm."""
+
+    PORTS = ("inbox",)
+
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.received = 0
+
+    def wakeup(self):
+        inbox = self.in_ports["inbox"]
+        while True:
+            msg = inbox.pop(self.sim.tick)
+            if msg is None:
+                return
+            self.received += 1
+
+
+def _timed(sim, **run_kwargs):
+    start = time.perf_counter()
+    sim.run(**run_kwargs)
+    elapsed = time.perf_counter() - start
+    return elapsed
+
+
+def bench_ping_pong(pairs=24, rounds=300, seed=0, trace_depth=0):
+    """Ordered-network ping-pong: the common deliver/wakeup/reply path."""
+    sim = Simulator(seed=seed, trace_depth=trace_depth)
+    net = Network(sim, FixedLatency(2), ordered=True, name="pp")
+    pongers = []
+    for i in range(pairs):
+        a = _Ponger(sim, f"a{i}", net)
+        b = _Ponger(sim, f"b{i}", net)
+        a.peer, b.peer = b.name, a.name
+        net.attach(a)
+        net.attach(b)
+        pongers.append((a, b))
+    for i, (a, b) in enumerate(pongers):
+        a.budget = rounds
+        b.budget = rounds
+        net.send(Message("ping", 0x40 * i, sender=a.name, dest=b.name), "inbox")
+    elapsed = _timed(sim)
+    return {
+        "workload": "ping_pong",
+        "events": sim._events_fired,
+        "messages": sim.stats_for("network.pp").get("messages"),
+        "final_tick": sim.tick,
+        "seconds": elapsed,
+        "events_per_sec": sim._events_fired / elapsed if elapsed else 0.0,
+    }
+
+
+def bench_unordered_storm(sources=16, burst=4, rounds=150, seed=0, trace_depth=0):
+    """Random-latency fan-in: exercises out-of-order MessageBuffer inserts."""
+    sim = Simulator(seed=seed, trace_depth=trace_depth)
+    net = Network(sim, RandomLatency(1, 24), ordered=False, name="storm")
+    sink = _Sink(sim, "sink")
+    net.attach(sink)
+
+    def emit(idx, remaining):
+        for j in range(burst):
+            net.send(
+                Message("blast", 0x40 * j, sender=f"src{idx}", dest="sink"), "inbox"
+            )
+        if remaining > 1:
+            sim.schedule(3, emit, idx, remaining - 1)
+
+    for idx in range(sources):
+        sim.schedule(1 + idx % 3, emit, idx, rounds)
+    elapsed = _timed(sim)
+    return {
+        "workload": "unordered_storm",
+        "events": sim._events_fired,
+        "messages": sink.received,
+        "final_tick": sim.tick,
+        "seconds": elapsed,
+        "events_per_sec": sim._events_fired / elapsed if elapsed else 0.0,
+    }
+
+
+def bench_timer_churn(timers=64, waves=400, seed=0, trace_depth=0):
+    """Cancel/reschedule storms: the EventQueue garbage-collection path.
+
+    Every wave delivers one message per timer component and then re-arms
+    each component's wakeup three times with successively earlier ticks —
+    the ``request_wakeup`` cancel-and-reschedule pattern rate limiters
+    and retry timers hit constantly.
+    """
+    sim = Simulator(seed=seed, trace_depth=trace_depth)
+    net = Network(sim, FixedLatency(1), name="churn")
+    sinks = [_Sink(sim, f"timer{i}") for i in range(timers)]
+    for sink in sinks:
+        net.attach(sink)
+
+    def wave(remaining):
+        now = sim.tick
+        for i, sink in enumerate(sinks):
+            net.send(Message("tick", 0x40 * i, sender="drv", dest=sink.name), "inbox")
+            # re-arm three times, each earlier: two cancels per component
+            sink.request_wakeup(now + 9)
+            sink.request_wakeup(now + 6)
+            sink.request_wakeup(now + 3)
+        if remaining > 1:
+            sim.schedule(4, wave, remaining - 1)
+
+    sim.schedule(1, wave, waves)
+    elapsed = _timed(sim)
+    return {
+        "workload": "timer_churn",
+        "events": sim._events_fired,
+        "messages": sum(s.received for s in sinks),
+        "final_tick": sim.tick,
+        "seconds": elapsed,
+        "events_per_sec": sim._events_fired / elapsed if elapsed else 0.0,
+    }
+
+
+#: The synthetic mix: every row regenerated by ``run_engine_microbench``.
+ENGINE_WORKLOADS = {
+    "ping_pong": bench_ping_pong,
+    "unordered_storm": bench_unordered_storm,
+    "timer_churn": bench_timer_churn,
+}
+
+
+def run_engine_microbench(scale=1, seed=0, trace_depth=0, repeats=3):
+    """Run the full mix; keep each workload's best-of-``repeats`` timing.
+
+    ``scale`` multiplies per-workload work (rounds/waves); events/sec is
+    total events over total (best-run) seconds, so the aggregate is
+    dominated by the workloads that dominate real campaigns.
+    """
+    scale_kwargs = {
+        "ping_pong": {"rounds": 300 * scale},
+        "unordered_storm": {"rounds": 150 * scale},
+        "timer_churn": {"waves": 400 * scale},
+    }
+    rows = []
+    for name, fn in ENGINE_WORKLOADS.items():
+        best = None
+        for _ in range(max(1, repeats)):
+            row = fn(seed=seed, trace_depth=trace_depth, **scale_kwargs[name])
+            if best is None or row["seconds"] < best["seconds"]:
+                best = row
+        rows.append(best)
+    total_events = sum(r["events"] for r in rows)
+    total_seconds = sum(r["seconds"] for r in rows)
+    return {
+        "workloads": rows,
+        "events": total_events,
+        "seconds": total_seconds,
+        "events_per_sec": total_events / total_seconds if total_seconds else 0.0,
+    }
+
+
+def campaign_wallclock(workers_list=(1, None), seeds=range(1), ops_per_run=400,
+                       num_blocks=3):
+    """Wall-clock one small stress campaign per ``workers`` setting.
+
+    ``None`` in ``workers_list`` means ``os.cpu_count()``. Returns rows of
+    {workers, seconds, runs, failures, speedup_vs_serial}; also asserts
+    nothing about correctness — the equivalence tests own that.
+    """
+    from repro.eval.experiments import run_stress_coverage
+
+    rows = []
+    serial_seconds = None
+    for workers in workers_list:
+        resolved = workers if workers is not None else (os.cpu_count() or 1)
+        start = time.perf_counter()
+        result = run_stress_coverage(
+            seeds=seeds, ops_per_run=ops_per_run, num_blocks=num_blocks,
+            workers=resolved,
+        )
+        elapsed = time.perf_counter() - start
+        if resolved == 1 and serial_seconds is None:
+            serial_seconds = elapsed
+        rows.append(
+            {
+                "workers": resolved,
+                "seconds": elapsed,
+                "runs": len(result["runs"]),
+                "failures": sum(1 for r in result["runs"] if not r["passed"]),
+            }
+        )
+    for row in rows:
+        row["speedup_vs_serial"] = (
+            serial_seconds / row["seconds"] if serial_seconds and row["seconds"] else None
+        )
+    return rows
+
+
+def profile_engine(workload="ping_pong", scale=1, seed=0, top=15):
+    """cProfile one workload; returns (text report, total events)."""
+    fn = ENGINE_WORKLOADS[workload]
+    profiler = cProfile.Profile()
+    profiler.enable()
+    row = fn(seed=seed)
+    profiler.disable()
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats("cumulative").print_stats(top)
+    return buf.getvalue(), row["events"]
+
+
+def engine_benchmark_report(scale=1, seed=0, include_campaign=True,
+                            workers=None, repeats=3):
+    """The ``BENCH_engine.json`` payload: microbench mix + campaign scaling."""
+    micro = run_engine_microbench(scale=scale, seed=seed, repeats=repeats)
+    report = {
+        "bench": "engine_throughput",
+        "unit": "events_per_sec",
+        "scale": scale,
+        "seed": seed,
+        "events_per_sec": micro["events_per_sec"],
+        "events": micro["events"],
+        "seconds": micro["seconds"],
+        "workloads": {
+            r["workload"]: {
+                "events": r["events"],
+                "messages": r["messages"],
+                "final_tick": r["final_tick"],
+                "seconds": r["seconds"],
+                "events_per_sec": r["events_per_sec"],
+            }
+            for r in micro["workloads"]
+        },
+    }
+    if include_campaign:
+        resolved = workers if workers is not None else min(4, os.cpu_count() or 1)
+        # on a single-core host the parallel leg would just repeat serial
+        workers_list = (1, resolved) if resolved > 1 else (1,)
+        rows = campaign_wallclock(workers_list=workers_list)
+        report["campaign"] = {
+            "rows": rows,
+            "parallel_workers": resolved,
+            "speedup": rows[-1]["speedup_vs_serial"],
+        }
+    return report

@@ -75,6 +75,9 @@ class SystemConfig:
     # simulation
     seed: int = 0
     deadlock_threshold: int = 1_000_000
+    # forensic trace-ring depth; 0 disables recording entirely (fast
+    # campaign mode — replay the seed with a nonzero depth for forensics)
+    trace_depth: int = 64
 
     # set True by the stress harness: random message latencies
     randomize_latencies: bool = False

@@ -125,7 +125,11 @@ def _latency(lo, hi):
 
 def build_system(config: SystemConfig) -> System:
     system = System(config)
-    sim = Simulator(seed=config.seed, deadlock_threshold=config.deadlock_threshold)
+    sim = Simulator(
+        seed=config.seed,
+        deadlock_threshold=config.deadlock_threshold,
+        trace_depth=config.trace_depth,
+    )
     system.sim = sim
     system.memory = MainMemory(block_size=config.block_size, latency=config.mem_latency)
 

@@ -6,7 +6,7 @@ messages through named :class:`MessageBuffer` input ports; the network
 enqueues messages at their arrival tick and schedules a component wakeup.
 """
 
-from collections import deque
+from bisect import bisect_right, insort
 
 from repro.sim.stats import Stats
 
@@ -16,11 +16,26 @@ class MessageBuffer:
 
     The buffer preserves arrival order. ``peek``/``pop`` only expose
     messages whose arrival tick is <= the current tick.
+
+    Storage is a list of ``(tick, seq, msg)`` entries with a head index
+    (popping advances the head; the dead prefix is trimmed in batches).
+    ``seq`` increases per enqueue so equal-tick messages keep FIFO order,
+    and decreases per :meth:`push_front` so re-inserted messages sort
+    ahead of everything already queued. The not-yet-visible suffix is
+    always sorted by ``(tick, seq)``, which makes out-of-order inserts
+    (unordered networks) a ``bisect.insort`` instead of a full rebuild.
     """
+
+    #: Trim the consumed prefix once it is this long and at least half
+    #: the list (amortized O(1) per pop, bounded memory on busy ports).
+    TRIM_MIN = 64
 
     def __init__(self, name=""):
         self.name = name
-        self._queue = deque()
+        self._entries = []
+        self._head = 0
+        self._seq = 0
+        self._front_seq = 0
 
     def enqueue(self, arrival_tick, msg):
         """Insert a message that becomes visible at ``arrival_tick``.
@@ -29,38 +44,60 @@ class MessageBuffer:
         unordered links messages may be enqueued out of tick order, so we
         insert in sorted position (stable for equal ticks).
         """
-        entry = (arrival_tick, msg)
-        if not self._queue or self._queue[-1][0] <= arrival_tick:
-            self._queue.append(entry)
-            return
-        # Rare out-of-order insert (unordered network): stable insertion.
-        items = list(self._queue)
-        for index, (tick, _existing) in enumerate(items):
-            if tick > arrival_tick:
-                items.insert(index, entry)
-                break
-        self._queue = deque(items)
+        self._seq += 1
+        entry = (arrival_tick, self._seq, msg)
+        entries = self._entries
+        if not entries or entries[-1][0] <= arrival_tick:
+            entries.append(entry)
+        else:
+            # Out-of-order insert (unordered network). Everything already
+            # visible compares below ``entry`` (older tick, or equal tick
+            # with smaller seq), so bisecting the whole live region lands
+            # exactly where the old linear scan did — stably.
+            insort(entries, entry, lo=self._head)
 
     def push_front(self, tick, msg):
         """Re-insert a message at the head (used to wake stalled messages)."""
-        self._queue.appendleft((tick, msg))
+        self._front_seq -= 1
+        entry = (tick, self._front_seq, msg)
+        head = self._head
+        if head:
+            # reuse a slot from the consumed prefix instead of shifting
+            self._head = head - 1
+            self._entries[head - 1] = entry
+        else:
+            self._entries.insert(0, entry)
 
     def peek(self, now):
         """Head message if it has arrived by ``now``, else None."""
-        if self._queue and self._queue[0][0] <= now:
-            return self._queue[0][1]
+        entries = self._entries
+        head = self._head
+        if head < len(entries) and entries[head][0] <= now:
+            return entries[head][2]
         return None
 
     def pop(self, now):
         """Remove and return the head message if arrived, else None."""
-        if self._queue and self._queue[0][0] <= now:
-            return self._queue.popleft()[1]
+        entries = self._entries
+        head = self._head
+        if head < len(entries) and entries[head][0] <= now:
+            msg = entries[head][2]
+            head += 1
+            if head == len(entries):
+                entries.clear()
+                head = 0
+            elif head >= self.TRIM_MIN and head * 2 >= len(entries):
+                del entries[:head]
+                head = 0
+            self._head = head
+            return msg
         return None
 
     def next_arrival_tick(self):
         """Arrival tick of the head message, or None when empty."""
-        if self._queue:
-            return self._queue[0][0]
+        entries = self._entries
+        if self._head < len(entries):
+            return entries[self._head][0]
         return None
 
     def next_arrival_after(self, now):
@@ -68,24 +105,29 @@ class MessageBuffer:
 
         Skips already-visible messages (which a RETRYing controller may
         legitimately leave queued) so wakeup re-arming keys off genuinely
-        future deliveries.
+        future deliveries. Visible entries all compare below the probe
+        key and the future suffix is sorted, so this is a binary search.
         """
-        for tick, _msg in self._queue:
-            if tick > now:
-                return tick
+        entries = self._entries
+        index = bisect_right(entries, (now, self._seq + 1), self._head)
+        if index < len(entries):
+            return entries[index][0]
         return None
 
     def oldest_visible_tick(self, now):
         """Arrival tick of the head message if visible at ``now``."""
-        if self._queue and self._queue[0][0] <= now:
-            return self._queue[0][0]
+        entries = self._entries
+        head = self._head
+        if head < len(entries) and entries[head][0] <= now:
+            return entries[head][0]
         return None
 
     def __len__(self):
-        return len(self._queue)
+        return len(self._entries) - self._head
 
     def __iter__(self):
-        return (msg for _tick, msg in self._queue)
+        entries = self._entries
+        return (entries[i][2] for i in range(self._head, len(entries)))
 
 
 class Component:
@@ -108,6 +150,9 @@ class Component:
         self.name = name
         self.stats = Stats(owner=name)
         self.in_ports = {port: MessageBuffer(f"{name}.{port}") for port in self.PORTS}
+        # ports are fixed at construction; cache the buffers for the
+        # per-wakeup scans below
+        self._port_buffers = tuple(self.in_ports.values())
         self._wakeup_event = None
         sim.register(self)
 
@@ -127,37 +172,41 @@ class Component:
         wakeups that reschedule themselves (e.g. rate-limiter retries)
         compound into an event storm.
         """
-        if tick is None:
-            tick = self.sim.tick
-        tick = max(tick, self.sim.tick)
+        sim = self.sim
+        now = sim.tick
+        if tick is None or tick < now:
+            tick = now
         pending = self._wakeup_event
         if pending is not None and not pending.cancelled:
             if pending.tick <= tick:
                 return
             pending.cancel()
-        self._wakeup_event = self.sim.schedule_at(tick, self._wakeup_wrapper)
+        # tick is clamped >= now, so schedule_at's validation is redundant;
+        # go straight to the event queue (this path fires per delivery)
+        self._wakeup_event = sim.events.schedule(tick, self._wakeup_wrapper)
 
     def _wakeup_wrapper(self):
         self._wakeup_event = None
         self.wakeup()
         # If messages remain that arrive in the future, wake again then.
         # Visible-but-unconsumed (RETRYing) messages must not mask them.
-        future_ticks = [
-            buf.next_arrival_after(self.sim.tick)
-            for buf in self.in_ports.values()
-        ]
-        future_ticks = [tick for tick in future_ticks if tick is not None]
-        if future_ticks:
-            self.request_wakeup(min(future_ticks))
+        now = self.sim.tick
+        earliest = None
+        for buf in self._port_buffers:
+            tick = buf.next_arrival_after(now)
+            if tick is not None and (earliest is None or tick < earliest):
+                earliest = tick
+        if earliest is not None:
+            self.request_wakeup(earliest)
 
     def next_pending_tick(self):
         """Earliest arrival tick over all input ports, or None."""
-        ticks = [
-            buf.next_arrival_tick()
-            for buf in self.in_ports.values()
-            if buf.next_arrival_tick() is not None
-        ]
-        return min(ticks) if ticks else None
+        earliest = None
+        for buf in self._port_buffers:
+            tick = buf.next_arrival_tick()
+            if tick is not None and (earliest is None or tick < earliest):
+                earliest = tick
+        return earliest
 
     # -- hooks ---------------------------------------------------------------
 
@@ -169,12 +218,12 @@ class Component:
 
         Returns None when the component has no visible pending work.
         """
-        ticks = [
-            buf.oldest_visible_tick(now)
-            for buf in self.in_ports.values()
-            if buf.oldest_visible_tick(now) is not None
-        ]
-        return min(ticks) if ticks else None
+        oldest = None
+        for buf in self._port_buffers:
+            tick = buf.oldest_visible_tick(now)
+            if tick is not None and (oldest is None or tick < oldest):
+                oldest = tick
+        return oldest
 
     def __repr__(self):
         return f"{type(self).__name__}({self.name!r})"

@@ -2,6 +2,13 @@
 
 Events are callbacks scheduled at an absolute tick. Ties are broken by
 insertion order so simulation is fully deterministic for a given seed.
+
+The heap stores ``(tick, seq, event)`` triples so ordering is resolved by
+C-level tuple comparison instead of a Python ``__lt__`` call per
+sift step. Cancelled events stay in the heap until popped or until they
+outnumber the live ones, at which point the heap is compacted in place —
+``Component.request_wakeup`` cancels/reschedules constantly, so long runs
+would otherwise accumulate unbounded garbage.
 """
 
 import heapq
@@ -16,18 +23,25 @@ class Event:
     skipped when popped.
     """
 
-    __slots__ = ("tick", "seq", "callback", "args", "cancelled")
+    __slots__ = ("tick", "seq", "callback", "args", "cancelled", "_queue")
 
-    def __init__(self, tick, seq, callback, args):
+    def __init__(self, tick, seq, callback, args, queue=None):
         self.tick = tick
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._queue = queue
 
     def cancel(self):
         """Prevent the event from firing when its tick is reached."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue = self._queue
+        if queue is not None:
+            self._queue = None
+            queue._note_cancel()
 
     def fire(self):
         """Invoke the callback unless cancelled."""
@@ -45,9 +59,14 @@ class Event:
 class EventQueue:
     """A deterministic min-heap of :class:`Event` objects."""
 
+    #: Don't bother compacting heaps smaller than this.
+    COMPACT_MIN = 64
+
     def __init__(self):
         self._heap = []
         self._counter = itertools.count()
+        self._live = 0
+        self._cancelled = 0
 
     def schedule(self, tick, callback, *args):
         """Schedule ``callback(*args)`` at absolute ``tick``.
@@ -56,28 +75,48 @@ class EventQueue:
         """
         if tick < 0:
             raise ValueError(f"cannot schedule at negative tick {tick}")
-        event = Event(tick, next(self._counter), callback, args)
-        heapq.heappush(self._heap, event)
+        seq = next(self._counter)
+        event = Event(tick, seq, callback, args, queue=self)
+        heapq.heappush(self._heap, (tick, seq, event))
+        self._live += 1
         return event
+
+    def _note_cancel(self):
+        """A live in-heap event was cancelled; compact if mostly garbage."""
+        self._live -= 1
+        self._cancelled += 1
+        heap = self._heap
+        if self._cancelled * 2 > len(heap) and len(heap) >= self.COMPACT_MIN:
+            heap[:] = [entry for entry in heap if not entry[2].cancelled]
+            heapq.heapify(heap)
+            self._cancelled = 0
 
     def pop(self):
         """Remove and return the earliest non-cancelled event, or None."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if not event.cancelled:
-                return event
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
+            if event.cancelled:
+                self._cancelled -= 1
+                continue
+            # detach so a late cancel() can't corrupt the live count
+            event._queue = None
+            self._live -= 1
+            return event
         return None
 
     def peek_tick(self):
         """Tick of the earliest non-cancelled event, or None if empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if self._heap:
-            return self._heap[0].tick
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self._cancelled -= 1
+        if heap:
+            return heap[0][0]
         return None
 
     def __len__(self):
-        return sum(1 for e in self._heap if not e.cancelled)
+        return self._live
 
     def __bool__(self):
         return self.peek_tick() is not None

@@ -72,6 +72,12 @@ class Network:
         self._endpoint_delay = {}
         self._last_arrival = {}
         self.stats = sim.stats_for(f"network.{name}")
+        # hot-path caches: the stats counter dict (two increments per
+        # message) and the per-mtype counter-key strings (so the
+        # f"msg.{...}" string is built once per message type, not once
+        # per message).
+        self._counters = self.stats.counters
+        self._mtype_keys = {}
         sim.register_network(self)
 
     def attach(self, component):
@@ -79,6 +85,25 @@ class Network:
         if component.name in self._endpoints:
             raise ValueError(f"duplicate endpoint {component.name!r} on {self.name}")
         self._endpoints[component.name] = component
+
+    def detach(self, name):
+        """Unregister endpoint ``name`` and forget its ordered-lane history.
+
+        Multi-phase experiments that rebuild one side of a network (e.g.
+        swapping the accelerator model between campaigns) must not inherit
+        the old endpoint's lane clamps — a stale ``_last_arrival`` far in
+        the future would silently delay every message of the next phase.
+        """
+        if name not in self._endpoints:
+            raise KeyError(f"{self.name}: no endpoint {name!r} to detach")
+        del self._endpoints[name]
+        self._endpoint_delay.pop(name, None)
+        for lane in [l for l in self._last_arrival if name in l]:
+            del self._last_arrival[lane]
+
+    def reset_lanes(self):
+        """Clear all ordered-lane clamps (e.g. between reuse phases)."""
+        self._last_arrival.clear()
 
     def endpoints(self):
         return list(self._endpoints)
@@ -103,27 +128,31 @@ class Network:
             raise KeyError(f"{self.name}: unknown destination {msg.dest!r} for {msg}")
         if port not in dest.in_ports:
             raise KeyError(f"{self.name}: {msg.dest!r} has no port {port!r}")
-        msg.send_tick = self.sim.tick
-        latency = self.latency.sample(self.sim.rng)
-        latency += self._endpoint_delay.get(msg.sender, 0)
-        latency += self._endpoint_delay.get(msg.dest, 0)
-        arrival = self.sim.tick + delay + latency
+        sim = self.sim
+        now = sim.tick
+        msg.send_tick = now
+        latency = self.latency.sample(sim.rng)
+        delays = self._endpoint_delay
+        if delays:
+            latency += delays.get(msg.sender, 0) + delays.get(msg.dest, 0)
+        arrival = now + delay + latency
         if self.bandwidth is not None:
-            slot = max(float(self.sim.tick), self._next_slot)
+            slot = max(float(now), self._next_slot)
             self._next_slot = slot + 1.0 / self.bandwidth
-            queueing = int(slot) - self.sim.tick
+            queueing = int(slot) - now
             if queueing > 0:
                 self.stats.inc("queueing_ticks", queueing)
             arrival += queueing
         plan = self.fault_plan
         if plan is not None:
-            decision = plan.decide(self.name, msg, self.sim.tick)
+            decision = plan.decide(self.name, msg, now)
             if decision is not None and decision:
                 if decision.drop:
                     # The fabric ate the message: no delivery, no lane
                     # slot — survivors keep their relative order.
                     self.stats.inc("fault.dropped")
-                    self.sim.record_trace(self.name, msg, note="dropped")
+                    if self.sim.trace is not None:
+                        self.sim.record_trace(self.name, msg, note="dropped")
                     return arrival
                 if decision.extra_delay:
                     self.stats.inc("fault.delayed")
@@ -150,22 +179,36 @@ class Network:
             # the receiver's port priorities cannot reorder same-tick pairs.
             lane = (msg.sender, msg.dest)
             previous = self._last_arrival.get(lane, 0)
-            arrival = max(arrival, previous + 1)
+            if arrival <= previous:
+                arrival = previous + 1
             self._last_arrival[lane] = arrival
-        self.stats.inc("messages")
-        self.stats.inc(f"msg.{getattr(msg.mtype, 'name', msg.mtype)}")
+        counters = self._counters
+        counters["messages"] = counters.get("messages", 0) + 1
+        mtype = msg.mtype
+        key = self._mtype_keys.get(mtype)
+        if key is None:
+            key = f"msg.{getattr(mtype, 'name', mtype)}"
+            self._mtype_keys[mtype] = key
+        counters[key] = counters.get(key, 0) + 1
         if msg.data is not None:
-            self.stats.inc("data_messages")
-        self.sim.record_trace(self.name, msg, note=note)
+            counters["data_messages"] = counters.get("data_messages", 0) + 1
+        sim = self.sim
+        if sim.trace is not None:
+            sim.record_trace(self.name, msg, note=note)
         dest.deliver(port, arrival, msg)
         return arrival
 
     def broadcast(self, msg_factory, dests, port, delay=0):
-        """Send one message per destination; ``msg_factory(dest)`` builds it."""
+        """Send one message per destination; ``msg_factory(dest)`` builds it.
+
+        The factory may set ``msg.dest`` itself (e.g. a prebuilt per-dest
+        message table); a destination it set is respected, not clobbered.
+        """
         arrivals = []
         for dest in dests:
             msg = msg_factory(dest)
-            msg.dest = dest
+            if not msg.dest:
+                msg.dest = dest
             arrivals.append(self.send(msg, port, delay=delay))
         return arrivals
 

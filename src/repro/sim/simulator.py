@@ -54,7 +54,10 @@ class DeadlockError(RuntimeError):
                 f"  {comp.name}: oldest_pending={oldest} queues={depths or '{}'} "
                 f"open_tbes={open_tbes} stalled_msgs={stalled}{mark}"
             )
-        trace = list(self.sim.trace)
+        trace = list(self.sim.trace) if self.sim.trace is not None else []
+        if self.sim.trace is None:
+            lines.append("-- network trace disabled (trace_depth=0); "
+                         "replay the seed with tracing enabled for messages --")
         lines.append(f"-- last {len(trace)} network messages (oldest first) --")
         for tick, net, mtype, addr, sender, dest, note in trace:
             mname = getattr(mtype, "name", mtype)
@@ -77,29 +80,37 @@ class Simulator:
         self._stats = {}
         self.deadlock_threshold = deadlock_threshold
         self._events_fired = 0
+        self._component_index = {}
         #: ring of the last ``trace_depth`` network sends, for forensics.
-        self.trace = deque(maxlen=trace_depth)
+        #: ``trace_depth=0`` disables recording entirely (``trace`` is
+        #: None and the networks skip the recording call) — campaigns run
+        #: that way and deterministically replay a failing seed with
+        #: tracing enabled when they need the forensics.
+        self.trace = deque(maxlen=trace_depth) if trace_depth > 0 else None
 
     def record_trace(self, net_name, msg, note=""):
-        """Append one network send to the forensic trace ring."""
-        self.trace.append(
-            (self.tick, net_name, msg.mtype, msg.addr, msg.sender, msg.dest, note)
-        )
+        """Append one network send to the forensic trace ring (if enabled)."""
+        if self.trace is not None:
+            self.trace.append(
+                (self.tick, net_name, msg.mtype, msg.addr, msg.sender, msg.dest, note)
+            )
 
     # -- registration --------------------------------------------------------
 
     def register(self, component):
         self.components.append(component)
+        # first registration wins, matching the old linear scan
+        self._component_index.setdefault(component.name, component)
 
     def register_network(self, network):
         self.networks.append(network)
 
     def component(self, name):
         """Look up a registered component by name."""
-        for comp in self.components:
-            if comp.name == name:
-                return comp
-        raise KeyError(f"no component named {name!r}")
+        try:
+            return self._component_index[name]
+        except KeyError:
+            raise KeyError(f"no component named {name!r}") from None
 
     def stats_for(self, owner):
         """A named Stats bag owned by the simulator (for networks etc.)."""
@@ -141,28 +152,33 @@ class Simulator:
         if self.deadlock_threshold is not None:
             check_interval = max(1, self.deadlock_threshold // 4)
             next_check = self.tick + check_interval
-        while True:
-            event = self.events.pop()
-            if event is None:
-                if final_check:
-                    self._check_deadlock(final=True)
-                return "idle"
-            if max_ticks is not None and event.tick > max_ticks:
-                # put it back conceptually: we simply stop; tick freezes at limit
-                self.events.schedule(event.tick, event.callback, *event.args)
-                self.tick = max_ticks
-                return "max_ticks"
-            if event.tick < self.tick:
-                raise AssertionError("event queue went backwards in time")
-            self.tick = event.tick
-            event.fire()
-            fired += 1
-            self._events_fired += 1
-            if max_events is not None and fired >= max_events:
-                return "max_events"
-            if next_check is not None and self.tick >= next_check:
-                self._check_deadlock(final=False)
-                next_check = self.tick + check_interval
+        pop = self.events.pop
+        try:
+            while True:
+                event = pop()
+                if event is None:
+                    if final_check:
+                        self._check_deadlock(final=True)
+                    return "idle"
+                tick = event.tick
+                if max_ticks is not None and tick > max_ticks:
+                    # put it back conceptually: we simply stop; tick freezes at limit
+                    self.events.schedule(tick, event.callback, *event.args)
+                    self.tick = max_ticks
+                    return "max_ticks"
+                if tick < self.tick:
+                    raise AssertionError("event queue went backwards in time")
+                self.tick = tick
+                # pop() never returns cancelled events; call directly
+                event.callback(*event.args)
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    return "max_events"
+                if next_check is not None and tick >= next_check:
+                    self._check_deadlock(final=False)
+                    next_check = tick + check_interval
+        finally:
+            self._events_fired += fired
 
     def _check_deadlock(self, final):
         """Raise when a component has visible pending work that is too old.

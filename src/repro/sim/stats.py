@@ -57,6 +57,10 @@ class Histogram:
 class Stats:
     """A named bag of counters and histograms."""
 
+    # one instance per component/network; slots keep the per-instance
+    # cost flat across large campaign sweeps
+    __slots__ = ("owner", "counters", "histograms")
+
     def __init__(self, owner=""):
         self.owner = owner
         self.counters = {}

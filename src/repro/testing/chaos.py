@@ -19,6 +19,7 @@ a strictly harsher fault model:
   :meth:`DeadlockError.diagnose` forensics instead of a bare exception.
 """
 
+from repro.eval.campaign import CampaignJob, merge_failure_into, run_campaign
 from repro.host.config import AccelOrg, HostProtocol, SystemConfig
 from repro.host.system import build_system
 from repro.sim.faults import FAULT_KINDS, FaultPlan, single_link_plan
@@ -195,6 +196,31 @@ def run_chaos_campaign(
     return result, system
 
 
+def _run_chaos_job(host, variant, rates, fault_label, rate, seed, duration,
+                   cpu_ops, adversary, accel_timeout, probe_retries):
+    """One chaos campaign, worker-side; returns its (picklable) result row."""
+    result, _system = run_chaos_campaign(
+        host,
+        variant,
+        faults=rates,
+        adversary=adversary,
+        seed=seed,
+        duration=duration,
+        cpu_ops=cpu_ops,
+        accel_timeout=accel_timeout,
+        probe_retries=probe_retries,
+    )
+    data = result.as_dict()
+    data.update(
+        host=host.name,
+        variant=variant.name,
+        fault=fault_label,
+        rate=rate,
+        seed=seed,
+    )
+    return data
+
+
 def run_chaos_matrix(
     fault_kinds=("drop", "duplicate", "delay", "corrupt"),
     rate=0.2,
@@ -206,12 +232,15 @@ def run_chaos_matrix(
     cpu_ops=600,
     accel_timeout=2000,
     probe_retries=2,
+    workers=1,
 ):
     """Sweep fault kind x host x XG variant x seed; one row per campaign.
 
     Also runs a ``mixed`` campaign per (host, variant, seed) with every
     kind active at once — the compound case is where interaction bugs
     (e.g. a duplicate of a delayed retry answer) actually live.
+    ``workers`` distributes the campaigns over a process pool; rows come
+    back in submission order, identical to a serial sweep.
     """
     unknown = set(fault_kinds) - set(FAULT_KINDS)
     if unknown:
@@ -219,29 +248,31 @@ def run_chaos_matrix(
     mixes = [(kind, {kind: rate}) for kind in fault_kinds]
     if len(fault_kinds) > 1:
         mixes.append(("mixed", {kind: rate / 2 for kind in fault_kinds}))
-    rows = []
+    campaign_jobs = []
+    templates = []
     for host in hosts:
         for variant in variants:
-            for label, rates in mixes:
+            for fault_label, rates in mixes:
                 for seed in seeds:
-                    result, _system = run_chaos_campaign(
-                        host,
-                        variant,
-                        faults=rates,
-                        adversary=adversary,
-                        seed=seed,
-                        duration=duration,
-                        cpu_ops=cpu_ops,
-                        accel_timeout=accel_timeout,
-                        probe_retries=probe_retries,
+                    campaign_jobs.append(
+                        CampaignJob(
+                            runner=_run_chaos_job,
+                            args=(host, variant, rates, fault_label, rate, seed,
+                                  duration, cpu_ops, adversary, accel_timeout,
+                                  probe_retries),
+                            label=f"{host.name}/{variant.name}/{fault_label}/seed{seed}",
+                        )
                     )
-                    data = result.as_dict()
-                    data.update(
-                        host=host.name,
-                        variant=variant.name,
-                        fault=label,
-                        rate=rate,
-                        seed=seed,
+                    template = ChaosResult().as_dict()
+                    template.update(
+                        host=host.name, variant=variant.name,
+                        fault=fault_label, rate=rate, seed=seed,
                     )
-                    rows.append(data)
+                    templates.append(template)
+    rows = []
+    for template, outcome in zip(templates, run_campaign(campaign_jobs, workers=workers)):
+        if outcome.ok:
+            rows.append(outcome.value)
+        else:
+            rows.append(merge_failure_into(template, outcome))
     return rows
