@@ -6,6 +6,8 @@ Commands:
 * ``stress``      — Section 4.1 random stress over the 12 configurations;
 * ``fuzz``        — byzantine-accelerator safety campaign;
 * ``chaos``       — fault-injected interconnect campaign (drop/dup/delay/corrupt);
+* ``trace``       — traced chaos run exported as Chrome/Perfetto JSON;
+* ``report``      — telemetry-on stress: coverage heatmap + span percentiles;
 * ``bench``       — engine events/sec microbenchmark + campaign wall-clock;
 * ``verify``      — exhaustive single-address interface verification;
 * ``perf``        — runtime comparison of the cache organizations;
@@ -127,6 +129,29 @@ def _cmd_bench(args):
         with open(args.out, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
         print(f"\nwrote {args.out}")
+    if args.obs_out:
+        from repro.eval.profiling import obs_overhead_report
+
+        obs_report = obs_overhead_report(
+            scale=args.scale, seed=args.seed, repeats=args.repeats
+        )
+        print()
+        print(
+            format_table(
+                ["mode", "events", "seconds", "events/sec"],
+                [
+                    (mode, r["events"], f"{r['seconds']:.3f}",
+                     f"{r['events_per_sec']:,.0f}")
+                    for mode, r in obs_report["xg_stress"].items()
+                ],
+                title="telemetry overhead (XG stress workload)",
+            )
+        )
+        for name, pct in obs_report["overhead_pct"].items():
+            print(f"  {name}: {pct:+.2f}%")
+        with open(args.obs_out, "w") as fh:
+            json.dump(obs_report, fh, indent=2, sort_keys=True)
+        print(f"\nwrote {args.obs_out}")
     return 0
 
 
@@ -206,6 +231,75 @@ def _cmd_chaos(args):
         print()
         print(report["diagnosis"])
     return 0 if report["host_safe"] else 1
+
+
+def _cmd_trace(args):
+    from repro.host.config import HostProtocol
+    from repro.obs import build_trace, write_trace
+    from repro.sim.faults import FaultWindow, single_link_plan
+    from repro.testing.chaos import run_chaos_campaign
+    from repro.xg.interface import XGVariant
+
+    rates = {kind: args.rate for kind in args.faults.split(",") if kind}
+    windows = []
+    try:
+        if args.blackhole:
+            start, _, end = args.blackhole.partition(":")
+            windows.append(FaultWindow(int(start), int(end), "drop", 1.0))
+        single_link_plan(rates, windows=windows)  # validate kinds/rates early
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result, system = run_chaos_campaign(
+        HostProtocol[args.host.upper()],
+        XGVariant[args.variant.upper()],
+        faults=rates,
+        windows=windows,
+        adversary=args.adversary,
+        seed=args.seed,
+        duration=args.duration,
+        cpu_ops=args.cpu_ops,
+        telemetry=True,
+        series_interval=args.series_interval,
+    )
+    obs = system.sim.obs
+    payload = build_trace(
+        obs, fault_plan=system.config.fault_plan, label=system.config.label
+    )
+    count = write_trace(payload, args.out)
+    print(f"config: {system.config.label}; ticks: {system.sim.tick}; "
+          f"host_safe: {result.host_safe}")
+    print(f"spans: {result.spans_closed} closed, {result.spans_orphaned} orphaned; "
+          f"transitions: {len(obs.transitions)}; faults: {len(obs.faults)}; "
+          f"marks: {len(obs.marks)}")
+    print(f"wrote {count} trace events to {args.out} "
+          f"(load in https://ui.perfetto.dev or chrome://tracing)")
+    if result.spans_orphaned:
+        print(f"warning: {result.spans_orphaned} spans never closed", file=sys.stderr)
+    return 0 if result.host_safe else 1
+
+
+def _cmd_report(args):
+    import time
+
+    from repro.eval.campaign import resolve_workers
+    from repro.eval.experiments import run_stress_coverage
+    from repro.obs import render_matrix
+
+    workers = resolve_workers(args.workers)
+    start = time.perf_counter()
+    result = run_stress_coverage(
+        seeds=range(args.seeds), ops_per_run=args.ops, workers=workers,
+        telemetry=True,
+    )
+    elapsed = time.perf_counter() - start
+    failures = [r for r in result["runs"] if not r["passed"]]
+    print(f"{len(result['runs'])} stress runs, {len(failures)} failures "
+          f"({workers} worker{'s' if workers != 1 else ''}, {elapsed:.1f}s)\n")
+    print(render_matrix(result["matrix"]))
+    for failure in failures:
+        print("FAIL:", failure["config"], "seed", failure["seed"], failure["detail"])
+    return 1 if failures else 0
 
 
 def _cmd_verify(args):
@@ -383,6 +477,9 @@ def build_parser():
                             "(default: cpu count)")
     bench.add_argument("--no-campaign", action="store_true",
                        help="skip the campaign wall-clock comparison")
+    bench.add_argument("--obs-out", dest="obs_out", default=None, metavar="PATH",
+                       help="also measure telemetry overhead (metrics_off / "
+                            "default / traced) and write BENCH_obs.json there")
     bench.add_argument("--out", default=None, metavar="PATH",
                        help="write the BENCH_engine.json payload here")
     bench.set_defaults(fn=_cmd_bench)
@@ -426,6 +523,38 @@ def build_parser():
     chaos.add_argument("--show-errors", dest="show_errors", type=int, default=10,
                        help="OS error-log records to print")
     chaos.set_defaults(fn=_cmd_chaos)
+
+    trace = sub.add_parser(
+        "trace", help="traced chaos run exported as Chrome/Perfetto JSON"
+    )
+    trace.add_argument("--host", default="mesi", choices=["mesi", "hammer", "mesif"])
+    trace.add_argument("--variant", default="full_state",
+                       choices=["full_state", "transactional"])
+    trace.add_argument("--faults", default="drop,duplicate",
+                       help="comma-separated fault kinds (empty for a clean run)")
+    trace.add_argument("--rate", type=float, default=0.1,
+                       help="per-message probability for each fault kind")
+    trace.add_argument("--blackhole", default=None, metavar="START:END",
+                       help="drop everything on the accel link in [START, END)")
+    trace.add_argument("--adversary", default="flood",
+                       choices=["flood", "fuzz", "protocol", "replay"])
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--duration", type=int, default=30_000)
+    trace.add_argument("--cpu-ops", dest="cpu_ops", type=int, default=600)
+    trace.add_argument("--series-interval", dest="series_interval", type=int,
+                       default=1000, help="counter sampling period in ticks "
+                       "(0 disables the time series)")
+    trace.add_argument("-o", "--out", default="trace.json", metavar="PATH")
+    trace.set_defaults(fn=_cmd_trace)
+
+    report = sub.add_parser(
+        "report", help="telemetry-on stress: coverage heatmap + span percentiles"
+    )
+    report.add_argument("--seeds", type=int, default=2)
+    report.add_argument("--ops", type=int, default=1500)
+    report.add_argument("--workers", type=int, default=None,
+                        help="campaign processes (default: all cores, capped)")
+    report.set_defaults(fn=_cmd_report)
 
     verify = sub.add_parser("verify", help="exhaustive interface verification")
     verify.set_defaults(fn=_cmd_verify)

@@ -75,6 +75,9 @@ class CoherenceController(Component):
         self._stalled_since = {}
         self._busy_until = 0
         self.protocol_errors = []
+        # pre-bound hot-path counters (no-op sinks when metrics are off)
+        self._stall_sink = self.stats.sink("stalls")
+        self._anomaly_sink = self.stats.sink("protocol_anomalies")
 
     # -- subclass API -----------------------------------------------------------
 
@@ -100,6 +103,11 @@ class CoherenceController(Component):
         if outcome is not STALL:
             # Stalls are not transitions; only executed work counts.
             self.coverage[(state, event)] += 1
+            obs = self.sim.obs
+            if obs is not None:
+                obs.record_transition(
+                    self.sim.tick, self.name, self.CONTROLLER_TYPE, state, event
+                )
         return outcome
 
     def has_transition(self, state, event):
@@ -149,7 +157,7 @@ class CoherenceController(Component):
                     key = self.stall_key(msg)
                     self._stalled[key].append((port, msg))
                     self._stalled_since.setdefault(key, self.sim.tick)
-                    self.stats.inc("stalls")
+                    self._stall_sink.inc()
                     did_work = True
                 elif outcome == RETRY:
                     buf.push_front(self.sim.tick, msg)
@@ -180,4 +188,9 @@ class CoherenceController(Component):
     def note_protocol_anomaly(self, description, msg=None):
         """Record a tolerated anomaly (xg-tolerant host modes sink these)."""
         self.protocol_errors.append((self.sim.tick, description, msg))
-        self.stats.inc("protocol_anomalies")
+        self._anomaly_sink.inc()
+        obs = self.sim.obs
+        if obs is not None:
+            obs.record_mark(
+                self.sim.tick, "anomaly", component=self.name, name=description
+            )

@@ -268,14 +268,21 @@ def _replay_for_diagnosis(config, tester_kwargs, ops_per_run):
     return "replay with tracing enabled did not reproduce the deadlock"
 
 
-def _run_stress_job(config, tester_kwargs, label, seed, ops_per_run):
-    """One (config, seed) stress simulation; returns (result row, coverage).
+def _run_stress_job(config, tester_kwargs, label, seed, ops_per_run,
+                    telemetry=False):
+    """One (config, seed) stress simulation.
 
-    Runs worker-side under the campaign executor; everything returned is
-    plain picklable data. Failures never escape — a deadlock row carries
-    the forensic diagnosis from a traced deterministic replay.
+    Returns (result row, coverage, telemetry summary or None). Runs
+    worker-side under the campaign executor; everything returned is plain
+    picklable data. Failures never escape — a deadlock row carries the
+    forensic diagnosis from a traced deterministic replay.
     """
     system, tester = _build_stress_tester(config, tester_kwargs, ops_per_run)
+    obs = None
+    if telemetry:
+        from repro.obs import Telemetry
+
+        obs = Telemetry(system.sim, transitions=False)
     outcome = {"config": label, "seed": seed, "passed": True, "detail": ""}
     try:
         tester.run()
@@ -299,10 +306,15 @@ def _run_stress_job(config, tester_kwargs, label, seed, ops_per_run):
     coverage = collect_coverage(
         [c for c in system.sim.components if hasattr(c, "coverage")]
     )
-    return outcome, coverage
+    summary = None
+    if obs is not None:
+        obs.finalize()
+        summary = obs.summary()
+    return outcome, coverage, summary
 
 
-def run_stress_coverage(seeds=range(4), ops_per_run=2000, num_blocks=5, workers=1):
+def run_stress_coverage(seeds=range(4), ops_per_run=2000, num_blocks=5, workers=1,
+                        telemetry=False):
     """E3: random load/store/check over all 12 configs; coverage report.
 
     Returns per-config pass counts and per-controller-type coverage
@@ -310,6 +322,12 @@ def run_stress_coverage(seeds=range(4), ops_per_run=2000, num_blocks=5, workers=
     ``workers`` fans the independent (config, seed) simulations out over
     a process pool; results and coverage merge in submission order, so
     any worker count produces byte-identical output.
+
+    ``telemetry=True`` additionally records transaction spans in every
+    run and returns a per-configuration :class:`~repro.obs.CoverageMatrix`
+    under ``"matrix"`` (coverage heatmap cells + span-latency histograms,
+    merged in submission order like everything else). The default result
+    stays JSON-serializable.
     """
     campaign_jobs = []
     for seed in seeds:
@@ -320,9 +338,15 @@ def run_stress_coverage(seeds=range(4), ops_per_run=2000, num_blocks=5, workers=
                 CampaignJob(
                     runner=_run_stress_job,
                     args=(fast, tester_kwargs, label, seed, ops_per_run),
+                    kwargs={"telemetry": telemetry},
                     label=f"{label}/seed{seed}",
                 )
             )
+    matrix = None
+    if telemetry:
+        from repro.obs import CoverageMatrix
+
+        matrix = CoverageMatrix()
     coverage = {}
     results = []
     for outcome in run_campaign(campaign_jobs, workers=workers):
@@ -333,13 +357,16 @@ def run_stress_coverage(seeds=range(4), ops_per_run=2000, num_blocks=5, workers=
                 merge_failure_into({"config": outcome.label, "seed": None}, outcome)
             )
             continue
-        row, job_coverage = outcome.value
+        row, job_coverage, telemetry_summary = outcome.value
         results.append(row)
         for ctype, report in job_coverage.items():
             if ctype in coverage:
                 coverage[ctype].merge(report)
             else:
                 coverage[ctype] = report
+        if matrix is not None:
+            matrix.add_run(row["config"], coverage=job_coverage,
+                           telemetry_summary=telemetry_summary)
     coverage_rows = [
         {
             "controller": ctype,
@@ -352,7 +379,10 @@ def run_stress_coverage(seeds=range(4), ops_per_run=2000, num_blocks=5, workers=
         }
         for ctype, rep in sorted(coverage.items())
     ]
-    return {"runs": results, "coverage": coverage_rows}
+    result = {"runs": results, "coverage": coverage_rows}
+    if matrix is not None:
+        result["matrix"] = matrix
+    return result
 
 
 # -- E4: fuzz safety matrix ---------------------------------------------------------------------------

@@ -250,6 +250,116 @@ def campaign_wallclock(workers_list=(1, None), seeds=range(1), ops_per_run=400,
     return rows
 
 
+def bench_xg_stress(mode="default", seed=0, ops=1200, repeats=3):
+    """Protocol-path throughput: one small stress run through XG, timed.
+
+    Unlike the synthetic engine mix, this pays the full coherence stack —
+    MESI L1/L2, Crossing Guard, accelerator caches — so it is where
+    telemetry hook overhead would actually show. ``mode``:
+
+    * ``"default"``     — metrics on, no telemetry hub (how tests run);
+    * ``"metrics_off"`` — :class:`NullStats` everywhere (campaign mode);
+    * ``"traced"``      — a :class:`~repro.obs.Telemetry` hub attached,
+      spans + transitions recorded (the `repro trace` path).
+    """
+    from repro.host.config import AccelOrg, HostProtocol, SystemConfig
+    from repro.host.system import build_system
+    from repro.testing.random_tester import RandomTester
+
+    best = None
+    for _ in range(max(1, repeats)):
+        config = SystemConfig(
+            host=HostProtocol.MESI,
+            org=AccelOrg.XG,
+            n_cpus=2,
+            n_accel_cores=2,
+            cpu_l1_sets=2,
+            cpu_l1_assoc=1,
+            shared_l2_sets=4,
+            shared_l2_assoc=2,
+            accel_l1_sets=2,
+            accel_l1_assoc=1,
+            randomize_latencies=True,
+            seed=seed,
+            deadlock_threshold=400_000,
+            accel_timeout=150_000,
+            mem_latency=30,
+            trace_depth=0,
+            metrics=mode != "metrics_off",
+        )
+        system = build_system(config)
+        if mode == "traced":
+            from repro.obs import Telemetry
+
+            Telemetry(system.sim)
+        blocks = [0x1000 + 64 * i for i in range(6)]
+        tester = RandomTester(
+            system.sim, system.sequencers, blocks,
+            ops_target=ops, store_fraction=0.45,
+        )
+        start = time.perf_counter()
+        tester.run()
+        elapsed = time.perf_counter() - start
+        row = {
+            "workload": "xg_stress",
+            "mode": mode,
+            "events": system.sim._events_fired,
+            "final_tick": system.sim.tick,
+            "seconds": elapsed,
+            "events_per_sec": system.sim._events_fired / elapsed if elapsed else 0.0,
+        }
+        if best is None or row["seconds"] < best["seconds"]:
+            best = row
+    return best
+
+
+def obs_overhead_report(scale=1, seed=0, repeats=3, stress_ops=1200):
+    """The ``BENCH_obs.json`` payload: telemetry cost accounting.
+
+    ``engine`` is the synthetic mix with telemetry off — directly
+    comparable to ``BENCH_engine.json`` across versions (the "telemetry
+    must cost nothing when off" acceptance number). ``xg_stress`` runs
+    the full protocol stack in all three modes and reports the relative
+    overheads; event counts are deterministic per seed, so mode rows are
+    comparable exactly.
+    """
+    engine = run_engine_microbench(scale=scale, seed=seed, repeats=repeats)
+    modes = {}
+    for mode in ("metrics_off", "default", "traced"):
+        modes[mode] = bench_xg_stress(mode=mode, seed=seed, ops=stress_ops,
+                                      repeats=repeats)
+    default_eps = modes["default"]["events_per_sec"]
+    off_eps = modes["metrics_off"]["events_per_sec"]
+    traced_eps = modes["traced"]["events_per_sec"]
+    return {
+        "bench": "obs_overhead",
+        "unit": "events_per_sec",
+        "scale": scale,
+        "seed": seed,
+        "engine_events_per_sec": engine["events_per_sec"],
+        "engine": {
+            r["workload"]: {
+                "events": r["events"],
+                "seconds": r["seconds"],
+                "events_per_sec": r["events_per_sec"],
+            }
+            for r in engine["workloads"]
+        },
+        "xg_stress": modes,
+        "overhead_pct": {
+            # metrics accounting cost relative to the all-no-op mode
+            "metrics_vs_off": (
+                100.0 * (off_eps - default_eps) / off_eps if off_eps else 0.0
+            ),
+            # full span/transition recording relative to metrics-on
+            "traced_vs_default": (
+                100.0 * (default_eps - traced_eps) / default_eps
+                if default_eps else 0.0
+            ),
+        },
+    }
+
+
 def profile_engine(workload="ping_pong", scale=1, seed=0, top=15):
     """cProfile one workload; returns (text report, total events)."""
     fn = ENGINE_WORKLOADS[workload]

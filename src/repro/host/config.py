@@ -75,6 +75,9 @@ class SystemConfig:
     # simulation
     seed: int = 0
     deadlock_threshold: int = 1_000_000
+    # False hands every component the shared NullStats: all counter and
+    # histogram work becomes a no-op (pure-speed campaign mode)
+    metrics: bool = True
     # forensic trace-ring depth; 0 disables recording entirely (fast
     # campaign mode — replay the seed with a nonzero depth for forensics)
     trace_depth: int = 64

@@ -16,12 +16,13 @@ from repro.sim.message import Message
 class OutstandingOp:
     """Bookkeeping for one in-flight load or store."""
 
-    __slots__ = ("msg", "callback", "issued_at")
+    __slots__ = ("msg", "callback", "issued_at", "span")
 
-    def __init__(self, msg, callback, issued_at):
+    def __init__(self, msg, callback, issued_at, span=None):
         self.msg = msg
         self.callback = callback
         self.issued_at = issued_at
+        self.span = span
 
 
 class Sequencer(Component):
@@ -41,6 +42,9 @@ class Sequencer(Component):
         self.response_latency = response_latency
         self.max_outstanding = max_outstanding
         self.outstanding = {}
+        # pre-bound hot-path counters (no-ops when metrics are off)
+        self._issued_sink = self.stats.sink("ops_issued")
+        self._completed_sink = self.stats.sink("ops_completed")
 
     def attach(self, cache_controller):
         """Bind to the L1-like controller this sequencer feeds."""
@@ -64,9 +68,14 @@ class Sequencer(Component):
         if not self.can_issue():
             raise RuntimeError(f"{self.name}: cannot issue (full or unattached)")
         msg = Message(op, addr, sender=self.name, dest=self.cache.name, value=value)
-        self.outstanding[msg.uid] = OutstandingOp(msg, callback, self.sim.tick)
-        self.cache.deliver("mandatory", self.sim.tick + self.issue_latency, msg)
-        self.stats.inc("ops_issued")
+        now = self.sim.tick
+        span = None
+        obs = self.sim.obs
+        if obs is not None:
+            span = obs.spans.start(f"op_{op.name.lower()}", self.name, addr, now)
+        self.outstanding[msg.uid] = OutstandingOp(msg, callback, now, span=span)
+        self.cache.deliver("mandatory", now + self.issue_latency, msg)
+        self._issued_sink.inc()
         return msg
 
     # -- completion ----------------------------------------------------------------
@@ -78,6 +87,10 @@ class Sequencer(Component):
         organization pays it on every access).
         """
         record = self.outstanding.pop(msg.uid)
+        if record.span is not None:
+            obs = self.sim.obs
+            if obs is not None:
+                obs.spans.phase(record.span, "cache_answered", self.sim.tick)
         if self.response_latency:
             self.sim.schedule(self.response_latency, self._complete, record, msg, data)
         else:
@@ -85,8 +98,12 @@ class Sequencer(Component):
 
     def _complete(self, record, msg, data):
         latency = self.sim.tick - record.issued_at
-        self.stats.inc("ops_completed")
+        self._completed_sink.inc()
         self.stats.observe("op_latency", latency)
+        if record.span is not None:
+            obs = self.sim.obs
+            if obs is not None:
+                obs.spans.finish(record.span, self.sim.tick, status="ok")
         if record.callback is not None:
             record.callback(msg, data)
 

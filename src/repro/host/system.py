@@ -129,6 +129,7 @@ def build_system(config: SystemConfig) -> System:
         seed=config.seed,
         deadlock_threshold=config.deadlock_threshold,
         trace_depth=config.trace_depth,
+        metrics=config.metrics,
     )
     system.sim = sim
     system.memory = MainMemory(block_size=config.block_size, latency=config.mem_latency)

@@ -1,0 +1,31 @@
+"""Unified observability: transaction spans, traces, metrics, coverage.
+
+* :mod:`repro.obs.spans` — :class:`Telemetry` (the per-simulation hub)
+  and :class:`SpanRecorder`/:class:`Span` (transaction lifecycles with
+  phase timestamps);
+* :mod:`repro.obs.perfetto` — Chrome/Perfetto trace-event JSON export
+  of a recording (:func:`build_trace` / :func:`write_trace` /
+  :func:`validate_trace`);
+* :mod:`repro.obs.matrix` — per-(protocol, accel-mode) coverage
+  heatmaps and span-latency percentiles (:class:`CoverageMatrix`,
+  :func:`render_matrix`).
+
+Everything here is opt-in: a simulator with ``sim.obs`` unset pays one
+attribute load + identity check per hook site, nothing more.
+"""
+
+from repro.obs.matrix import CellSummary, CoverageMatrix, render_matrix
+from repro.obs.perfetto import build_trace, validate_trace, write_trace
+from repro.obs.spans import Span, SpanRecorder, Telemetry
+
+__all__ = [
+    "CellSummary",
+    "CoverageMatrix",
+    "Span",
+    "SpanRecorder",
+    "Telemetry",
+    "build_trace",
+    "render_matrix",
+    "validate_trace",
+    "write_trace",
+]

@@ -1,0 +1,225 @@
+"""Per-configuration coverage matrix and span-latency percentile report.
+
+The stress campaign exercises the paper's (host protocol × accelerator
+organization) configuration matrix; each run produces per-controller
+:class:`~repro.coherence.coverage.CoverageReport` objects and, when
+telemetry is on, a :meth:`~repro.obs.spans.Telemetry.summary` digest.
+This module folds those per-run results into one :class:`CoverageMatrix`
+— merged through the same submission-order campaign merge as everything
+else, so parallel and serial campaigns produce identical matrices — and
+renders it as a text heatmap plus per-cell span-latency percentiles.
+"""
+
+from repro.coherence.coverage import CoverageReport
+from repro.eval.report import format_table
+from repro.sim.stats import Histogram
+
+#: Shading ramp for the heatmap, indexed by coverage fraction.
+_SHADES = " ░▒▓█"
+
+
+def shade(fraction):
+    """One shading character for a coverage fraction in [0, 1]."""
+    if fraction >= 1.0:
+        return _SHADES[-1]
+    return _SHADES[int(fraction * (len(_SHADES) - 1))]
+
+
+class CellSummary:
+    """Aggregated results for one (host, organization) cell."""
+
+    def __init__(self, key):
+        self.key = key
+        self.runs = 0
+        #: controller type -> merged CoverageReport
+        self.coverage = {}
+        #: span kind -> merged latency Histogram
+        self.span_hists = {}
+        #: (span kind, status) -> count
+        self.span_statuses = {}
+        self.spans_closed = 0
+        self.spans_dropped = 0
+        self.transitions = 0
+        self.faults = 0
+
+    def add_coverage(self, reports):
+        """Merge a per-run {ctype: CoverageReport} map."""
+        for ctype, report in reports.items():
+            mine = self.coverage.get(ctype)
+            if mine is None:
+                mine = CoverageReport(ctype)
+                self.coverage[ctype] = mine
+            mine.merge(report)
+
+    def add_telemetry(self, summary):
+        """Merge one :meth:`Telemetry.summary` digest."""
+        for kind, hist in summary.get("span_hists", {}).items():
+            mine = self.span_hists.get(kind)
+            if mine is None:
+                mine = Histogram(hist.bucket_width)
+                self.span_hists[kind] = mine
+            hist.merge_into(mine)
+        for key, count in summary.get("span_statuses", {}).items():
+            self.span_statuses[key] = self.span_statuses.get(key, 0) + count
+        self.spans_closed += summary.get("spans_closed", 0)
+        self.spans_dropped += summary.get("spans_dropped", 0)
+        self.transitions += summary.get("transitions", 0)
+        self.faults += summary.get("faults", 0)
+
+    def add_run(self, coverage=None, telemetry_summary=None):
+        self.runs += 1
+        if coverage:
+            self.add_coverage(coverage)
+        if telemetry_summary:
+            self.add_telemetry(telemetry_summary)
+
+    def merge(self, other):
+        self.runs += other.runs
+        self.add_coverage(other.coverage)
+        for kind, hist in other.span_hists.items():
+            mine = self.span_hists.get(kind)
+            if mine is None:
+                mine = Histogram(hist.bucket_width)
+                self.span_hists[kind] = mine
+            hist.merge_into(mine)
+        for key, count in other.span_statuses.items():
+            self.span_statuses[key] = self.span_statuses.get(key, 0) + count
+        self.spans_closed += other.spans_closed
+        self.spans_dropped += other.spans_dropped
+        self.transitions += other.transitions
+        self.faults += other.faults
+
+    @property
+    def fraction(self):
+        """Pooled coverage fraction across all controller types."""
+        possible = 0
+        visited = 0
+        for report in self.coverage.values():
+            possible += len(report.possible)
+            visited += len(report.visited_pairs & report.possible)
+        if not possible:
+            return 1.0
+        return visited / possible
+
+    def missing_transitions(self):
+        """(ctype, state name, event name) tuples never executed."""
+        out = []
+        for ctype, report in sorted(self.coverage.items()):
+            for state, event in report.missing:
+                out.append((ctype,
+                            getattr(state, "name", str(state)),
+                            getattr(event, "name", str(event))))
+        return sorted(out)
+
+    def __repr__(self):
+        return (f"CellSummary({self.key!r}, runs={self.runs}, "
+                f"coverage={self.fraction:.1%}, spans={self.spans_closed})")
+
+
+class CoverageMatrix:
+    """All cells of one campaign, keyed by config label ("host/org")."""
+
+    def __init__(self):
+        self.cells = {}
+
+    def cell(self, key):
+        cell = self.cells.get(key)
+        if cell is None:
+            cell = CellSummary(key)
+            self.cells[key] = cell
+        return cell
+
+    def add_run(self, key, coverage=None, telemetry_summary=None):
+        self.cell(key).add_run(coverage, telemetry_summary)
+
+    def merge(self, other):
+        for key, cell in other.cells.items():
+            self.cell(key).merge(cell)
+
+    def axes(self):
+        """Sorted (hosts, orgs) split out of the "host/org" cell keys."""
+        hosts = set()
+        orgs = set()
+        for key in self.cells:
+            host, _, org = key.partition("/")
+            hosts.add(host)
+            orgs.add(org)
+        return sorted(hosts), sorted(orgs)
+
+    def __len__(self):
+        return len(self.cells)
+
+
+def render_heatmap(matrix):
+    """Coverage heatmap: hosts as rows, accel organizations as columns."""
+    hosts, orgs = matrix.axes()
+    if not hosts:
+        return "coverage matrix: no cells recorded"
+    rows = []
+    for host in hosts:
+        row = [host]
+        for org in orgs:
+            cell = matrix.cells.get(f"{host}/{org}")
+            if cell is None:
+                row.append("-")
+            else:
+                row.append(f"{shade(cell.fraction)} {cell.fraction:6.1%}")
+        rows.append(row)
+    return format_table(["host"] + orgs, rows,
+                        title="transition coverage by configuration")
+
+
+def render_latencies(matrix, percentiles=(50, 90, 99)):
+    """Per-cell span-latency percentile table (ticks)."""
+    headers = ["config", "span kind", "count"] + [f"p{p}" for p in percentiles]
+    rows = []
+    for key in sorted(matrix.cells):
+        cell = matrix.cells[key]
+        for kind in sorted(cell.span_hists):
+            hist = cell.span_hists[kind]
+            rows.append([key, kind, hist.count]
+                        + [f"{hist.percentile(p / 100):.1f}" for p in percentiles])
+    if not rows:
+        return "span latencies: no telemetry recorded (run with telemetry on)"
+    return format_table(headers, rows, title="span latency percentiles (ticks)")
+
+
+def render_statuses(matrix):
+    """Per-cell span outcome table — timeouts and orphans jump out here."""
+    rows = []
+    for key in sorted(matrix.cells):
+        cell = matrix.cells[key]
+        for (kind, status), count in sorted(cell.span_statuses.items()):
+            rows.append([key, kind, status, count])
+    if not rows:
+        return ""
+    return format_table(["config", "span kind", "status", "count"], rows,
+                        title="span outcomes")
+
+
+def render_missing(matrix, limit=12):
+    """The transitions each cell never executed (coverage holes)."""
+    lines = []
+    for key in sorted(matrix.cells):
+        missing = matrix.cells[key].missing_transitions()
+        if not missing:
+            continue
+        shown = missing[:limit]
+        lines.append(f"{key}: {len(missing)} uncovered transition(s)")
+        for ctype, state, event in shown:
+            lines.append(f"    {ctype}: {state} x {event}")
+        if len(missing) > len(shown):
+            lines.append(f"    ... and {len(missing) - len(shown)} more")
+    if not lines:
+        return "no coverage holes: every declared transition executed"
+    return "\n".join(lines)
+
+
+def render_matrix(matrix, percentiles=(50, 90, 99), missing_limit=12):
+    """Full report: heatmap, latency percentiles, outcomes, holes."""
+    sections = [render_heatmap(matrix), render_latencies(matrix, percentiles)]
+    statuses = render_statuses(matrix)
+    if statuses:
+        sections.append(statuses)
+    sections.append(render_missing(matrix, limit=missing_limit))
+    return "\n\n".join(sections)

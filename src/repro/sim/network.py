@@ -75,7 +75,8 @@ class Network:
         # hot-path caches: the stats counter dict (two increments per
         # message) and the per-mtype counter-key strings (so the
         # f"msg.{...}" string is built once per message type, not once
-        # per message).
+        # per message). ``None`` when the simulator runs metrics-off —
+        # one identity check skips the whole counter block.
         self._counters = self.stats.counters
         self._mtype_keys = {}
         sim.register_network(self)
@@ -147,22 +148,31 @@ class Network:
         if plan is not None:
             decision = plan.decide(self.name, msg, now)
             if decision is not None and decision:
+                obs = sim.obs
                 if decision.drop:
                     # The fabric ate the message: no delivery, no lane
                     # slot — survivors keep their relative order.
                     self.stats.inc("fault.dropped")
+                    if obs is not None:
+                        obs.record_fault(now, self.name, "drop", msg)
                     if self.sim.trace is not None:
                         self.sim.record_trace(self.name, msg, note="dropped")
                     return arrival
                 if decision.extra_delay:
                     self.stats.inc("fault.delayed")
                     self.stats.inc("fault.delay_ticks", decision.extra_delay)
+                    if obs is not None:
+                        obs.record_fault(now, self.name, "delay", msg)
                     arrival += decision.extra_delay
                 if decision.corrupt and msg.data is not None:
                     self.stats.inc("fault.corrupted")
+                    if obs is not None:
+                        obs.record_fault(now, self.name, "corrupt", msg)
                     msg.data = plan.corrupted_copy(msg.data)
                 if decision.duplicate:
                     self.stats.inc("fault.duplicated")
+                    if obs is not None:
+                        obs.record_fault(now, self.name, "duplicate", msg)
                     arrival = self._deliver_one(dest, port, msg, arrival)
                     # Link-layer replay: same uid, own payload copy,
                     # trailing the original by at least one tick.
@@ -183,15 +193,16 @@ class Network:
                 arrival = previous + 1
             self._last_arrival[lane] = arrival
         counters = self._counters
-        counters["messages"] = counters.get("messages", 0) + 1
-        mtype = msg.mtype
-        key = self._mtype_keys.get(mtype)
-        if key is None:
-            key = f"msg.{getattr(mtype, 'name', mtype)}"
-            self._mtype_keys[mtype] = key
-        counters[key] = counters.get(key, 0) + 1
-        if msg.data is not None:
-            counters["data_messages"] = counters.get("data_messages", 0) + 1
+        if counters is not None:
+            counters["messages"] = counters.get("messages", 0) + 1
+            mtype = msg.mtype
+            key = self._mtype_keys.get(mtype)
+            if key is None:
+                key = f"msg.{getattr(mtype, 'name', mtype)}"
+                self._mtype_keys[mtype] = key
+            counters[key] = counters.get(key, 0) + 1
+            if msg.data is not None:
+                counters["data_messages"] = counters.get("data_messages", 0) + 1
         sim = self.sim
         if sim.trace is not None:
             sim.record_trace(self.name, msg, note=note)

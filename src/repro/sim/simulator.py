@@ -10,7 +10,7 @@ import random
 from collections import deque
 
 from repro.sim.event import EventQueue
-from repro.sim.stats import Stats
+from repro.sim.stats import NULL_STATS, Stats
 
 
 class DeadlockError(RuntimeError):
@@ -70,7 +70,7 @@ class DeadlockError(RuntimeError):
 class Simulator:
     """Owns the clock, the event queue, components, and global stats."""
 
-    def __init__(self, seed=0, deadlock_threshold=None, trace_depth=64):
+    def __init__(self, seed=0, deadlock_threshold=None, trace_depth=64, metrics=True):
         self.tick = 0
         self.rng = random.Random(seed)
         self.seed = seed
@@ -81,6 +81,14 @@ class Simulator:
         self.deadlock_threshold = deadlock_threshold
         self._events_fired = 0
         self._component_index = {}
+        #: ``metrics=False`` hands every component/network the shared
+        #: :data:`~repro.sim.stats.NULL_STATS` — all counter and histogram
+        #: work becomes a no-op (pure-speed campaign mode).
+        self.metrics_enabled = metrics
+        #: optional :class:`~repro.obs.Telemetry` hub. ``None`` (the
+        #: default) means every instrumentation hook in the engine and the
+        #: protocol layer reduces to one attribute load + identity check.
+        self.obs = None
         #: ring of the last ``trace_depth`` network sends, for forensics.
         #: ``trace_depth=0`` disables recording entirely (``trace`` is
         #: None and the networks skip the recording call) — campaigns run
@@ -114,6 +122,8 @@ class Simulator:
 
     def stats_for(self, owner):
         """A named Stats bag owned by the simulator (for networks etc.)."""
+        if not self.metrics_enabled:
+            return NULL_STATS
         if owner not in self._stats:
             self._stats[owner] = Stats(owner=owner)
         return self._stats[owner]

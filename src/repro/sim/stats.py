@@ -1,8 +1,14 @@
-"""Lightweight statistics: counters and streaming histograms.
+"""Lightweight statistics: counters, streaming histograms, and stat sinks.
 
 Every component owns a :class:`Stats` instance; the simulator can aggregate
 them into one report. Values are plain Python numbers so reports serialize
 trivially.
+
+Hot paths do not call :meth:`Stats.inc` with a formatted name per event —
+they pre-bind a :class:`StatSink` once (one dict access per hit, no string
+formatting) and, when a simulator runs with metrics disabled entirely,
+every sink and every :class:`NullStats` method is a no-op, so telemetry
+costs nothing when it is off.
 """
 
 
@@ -12,12 +18,18 @@ class Histogram:
     __slots__ = ("count", "total", "min", "max", "buckets", "_bucket_width")
 
     def __init__(self, bucket_width=16):
+        if bucket_width < 1:
+            raise ValueError(f"bucket_width must be >= 1, got {bucket_width}")
         self.count = 0
         self.total = 0
         self.min = None
         self.max = None
         self.buckets = {}
         self._bucket_width = bucket_width
+
+    @property
+    def bucket_width(self):
+        return self._bucket_width
 
     def observe(self, value):
         self.count += 1
@@ -34,6 +46,53 @@ class Histogram:
         if self.count == 0:
             return 0.0
         return self.total / self.count
+
+    def percentile(self, q):
+        """Approximate ``q``-quantile (q in [0, 1]) from the buckets.
+
+        Linear interpolation inside the bucket that crosses the target
+        rank, clamped to the observed min/max so p0/p100 are exact.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        width = self._bucket_width
+        for bucket in sorted(self.buckets):
+            in_bucket = self.buckets[bucket]
+            if cumulative + in_bucket >= target:
+                fraction = (target - cumulative) / in_bucket
+                estimate = bucket * width + fraction * width
+                return min(max(estimate, self.min), self.max)
+            cumulative += in_bucket
+        return self.max
+
+    def merge_into(self, dest):
+        """Accumulate this histogram into ``dest``.
+
+        Bucket widths are carried through the merge: matching widths sum
+        bucket-for-bucket; on a mismatch this histogram's buckets are
+        re-binned by bucket start value into ``dest``'s width (coarser or
+        finer — deterministic either way) instead of being silently summed
+        into wrong bins.
+        """
+        dest.count += self.count
+        dest.total += self.total
+        if self.min is not None:
+            dest.min = self.min if dest.min is None else min(dest.min, self.min)
+        if self.max is not None:
+            dest.max = self.max if dest.max is None else max(dest.max, self.max)
+        if dest._bucket_width == self._bucket_width:
+            for bucket, count in self.buckets.items():
+                dest.buckets[bucket] = dest.buckets.get(bucket, 0) + count
+        else:
+            width = self._bucket_width
+            dest_width = dest._bucket_width
+            for bucket, count in self.buckets.items():
+                rebinned = (bucket * width) // dest_width
+                dest.buckets[rebinned] = dest.buckets.get(rebinned, 0) + count
 
     def as_dict(self):
         return {
@@ -52,6 +111,77 @@ class Histogram:
             f"Histogram(count={self.count}, mean={self.mean:.2f}, "
             f"min={self.min}, max={self.max})"
         )
+
+
+class _ReadOnlyHistogram(Histogram):
+    """The empty histogram :meth:`Stats.histogram` returns for unknown names.
+
+    Observing into it would silently lose data (nothing registers it), so
+    it refuses writes instead.
+    """
+
+    __slots__ = ()
+
+    def observe(self, value):
+        raise TypeError(
+            "read-only empty histogram: Stats.histogram() of a never-observed "
+            "name is not registered; use Stats.observe() or ensure_histogram()"
+        )
+
+
+#: Shared immutable empty histogram (see :meth:`Stats.histogram`).
+EMPTY_HISTOGRAM = _ReadOnlyHistogram()
+
+
+class _DiscardHistogram(Histogram):
+    """Histogram that drops observations — backs :data:`NULL_STATS`."""
+
+    __slots__ = ()
+
+    def observe(self, value):
+        return None
+
+
+_DISCARD_HISTOGRAM = _DiscardHistogram()
+
+
+class StatSink:
+    """A pre-bound counter: one dict access per hit, no name formatting.
+
+    Hot paths (protocol controllers, XG send helpers) create one sink per
+    counter at construction time and call :meth:`inc` per event, instead
+    of paying ``Stats.inc``'s attribute lookups and (often) an f-string
+    per call — the call overhead ROADMAP measured on protocol code.
+    """
+
+    __slots__ = ("_counters", "name")
+
+    def __init__(self, counters, name):
+        self._counters = counters
+        self.name = name
+
+    def inc(self, amount=1):
+        counters = self._counters
+        counters[self.name] = counters.get(self.name, 0) + amount
+
+    def __repr__(self):
+        return f"StatSink({self.name!r})"
+
+
+class _NullStatSink:
+    """Sink that compiles to a no-op — what metrics-off simulations use."""
+
+    __slots__ = ()
+
+    def inc(self, amount=1):
+        return None
+
+    def __repr__(self):
+        return "NULL_SINK"
+
+
+#: Shared no-op sink (see :meth:`Stats.sink` / :class:`NullStats`).
+NULL_SINK = _NullStatSink()
 
 
 class Stats:
@@ -74,6 +204,10 @@ class Stats:
         """Read counter ``name``."""
         return self.counters.get(name, default)
 
+    def sink(self, name):
+        """A pre-bound :class:`StatSink` incrementing counter ``name``."""
+        return StatSink(self.counters, name)
+
     def observe(self, name, value):
         """Record ``value`` in histogram ``name``."""
         hist = self.histograms.get(name)
@@ -82,9 +216,23 @@ class Stats:
             self.histograms[name] = hist
         hist.observe(value)
 
+    def ensure_histogram(self, name, bucket_width=16):
+        """Return histogram ``name``, registering it if new (pre-binding)."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = Histogram(bucket_width)
+            self.histograms[name] = hist
+        return hist
+
     def histogram(self, name):
-        """Return histogram ``name`` (empty histogram if never observed)."""
-        return self.histograms.get(name, Histogram())
+        """Return histogram ``name``.
+
+        An unknown name returns the shared read-only
+        :data:`EMPTY_HISTOGRAM` — reading count/mean/etc. works (all
+        zero/None), but observing into it raises instead of silently
+        losing data in an unattached throwaway object.
+        """
+        return self.histograms.get(name, EMPTY_HISTOGRAM)
 
     def as_dict(self):
         report = dict(self.counters)
@@ -97,15 +245,61 @@ class Stats:
         for name, value in self.counters.items():
             other.inc(name, value)
         for name, hist in self.histograms.items():
-            dest = other.histograms.setdefault(name, Histogram())
-            dest.count += hist.count
-            dest.total += hist.total
-            if hist.min is not None:
-                dest.min = hist.min if dest.min is None else min(dest.min, hist.min)
-            if hist.max is not None:
-                dest.max = hist.max if dest.max is None else max(dest.max, hist.max)
-            for bucket, count in hist.buckets.items():
-                dest.buckets[bucket] = dest.buckets.get(bucket, 0) + count
+            dest = other.histograms.get(name)
+            if dest is None:
+                # carry the source's bucket width so later merges of the
+                # same name land in identical bins
+                dest = Histogram(hist._bucket_width)
+                other.histograms[name] = dest
+            hist.merge_into(dest)
 
     def __repr__(self):
         return f"Stats(owner={self.owner!r}, counters={len(self.counters)})"
+
+
+class NullStats:
+    """Shared no-op stand-in for :class:`Stats` when metrics are disabled.
+
+    A simulator built with ``metrics=False`` hands every component this
+    singleton: increments, observations, and merges vanish, ``sink()``
+    returns the no-op :data:`NULL_SINK`, and ``counters`` is ``None`` so
+    hand-inlined hot paths (the network's delivery counters) can skip
+    their counter block with one identity check.
+    """
+
+    __slots__ = ()
+
+    owner = "null"
+    counters = None
+    histograms = {}
+
+    def inc(self, name, amount=1):
+        return None
+
+    def get(self, name, default=0):
+        return default
+
+    def sink(self, name):
+        return NULL_SINK
+
+    def observe(self, name, value):
+        return None
+
+    def ensure_histogram(self, name, bucket_width=16):
+        return _DISCARD_HISTOGRAM
+
+    def histogram(self, name):
+        return EMPTY_HISTOGRAM
+
+    def as_dict(self):
+        return {}
+
+    def merge_into(self, other):
+        return None
+
+    def __repr__(self):
+        return "NULL_STATS"
+
+
+#: The shared metrics-off stats instance.
+NULL_STATS = NullStats()

@@ -22,6 +22,20 @@ class TraceEntry:
         return f"[{self.tick:>8}] {self.network:<6} {self.port:<14} {self.msg}"
 
 
+def _rebuild_send(net):
+    """Recompose ``net.send`` from the base method plus live tracer layers."""
+    stack = net._tracer_stack
+    if not stack:
+        net.send = net._tracer_base_send
+        del net._tracer_stack
+        del net._tracer_base_send
+        return
+    send = net._tracer_base_send
+    for tracer in stack:
+        send = tracer._make_send(net, send)
+    net.send = send
+
+
 class MessageTracer:
     """Records messages crossing the given networks.
 
@@ -44,20 +58,30 @@ class MessageTracer:
             else None
         )
         self.endpoint_filter = set(endpoint_filter) if endpoint_filter else None
-        self._originals = []
+        self._wrapped = []
         for net in networks:
             self._wrap(net)
 
     def _wrap(self, net):
-        original = net.send
-        self._originals.append((net, original))
+        # Tracers on a shared network form a layer stack hung off the
+        # network itself; ``net.send`` is rebuilt from the saved base
+        # method whenever a layer joins or leaves, so tracers can attach
+        # and detach in any order without clobbering each other.
+        stack = getattr(net, "_tracer_stack", None)
+        if stack is None:
+            net._tracer_stack = stack = []
+            net._tracer_base_send = net.send
+        stack.append(self)
+        self._wrapped.append(net)
+        _rebuild_send(net)
 
-        def send(msg, port, delay=0, _net=net, _original=original):
+    def _make_send(self, net, inner):
+        def send(msg, port, delay=0):
             if self._matches(msg):
-                self._record(_net, port, msg)
-            return _original(msg, port, delay=delay)
+                self._record(net, port, msg)
+            return inner(msg, port, delay=delay)
 
-        net.send = send
+        return send
 
     def _matches(self, msg):
         if self.addr_filter is not None:
@@ -74,10 +98,18 @@ class MessageTracer:
             del self.entries[: len(self.entries) - self.capacity]
 
     def detach(self):
-        """Restore the wrapped networks' original send methods."""
-        for net, original in self._originals:
-            net.send = original
-        self._originals = []
+        """Remove this tracer's layer from every wrapped network.
+
+        Other tracers sharing a network keep recording; the network's
+        original ``send`` is restored only once the last layer leaves.
+        Idempotent.
+        """
+        for net in self._wrapped:
+            stack = getattr(net, "_tracer_stack", None)
+            if stack and self in stack:
+                stack.remove(self)
+                _rebuild_send(net)
+        self._wrapped = []
 
     # -- queries -------------------------------------------------------------
 

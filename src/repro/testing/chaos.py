@@ -22,6 +22,7 @@ a strictly harsher fault model:
 from repro.eval.campaign import CampaignJob, merge_failure_into, run_campaign
 from repro.host.config import AccelOrg, HostProtocol, SystemConfig
 from repro.host.system import build_system
+from repro.obs import Telemetry
 from repro.sim.faults import FAULT_KINDS, FaultPlan, single_link_plan
 from repro.sim.simulator import DeadlockError
 from repro.testing.fuzzer import FuzzResult
@@ -44,6 +45,8 @@ class ChaosResult(FuzzResult):
         self.quarantine_surrogates = 0
         self.requests_dropped_disabled = 0
         self.accel_disabled = False
+        self.spans_closed = 0
+        self.spans_orphaned = 0
 
     def as_dict(self):
         data = super().as_dict()
@@ -57,6 +60,8 @@ class ChaosResult(FuzzResult):
             quarantine_surrogates=self.quarantine_surrogates,
             requests_dropped_disabled=self.requests_dropped_disabled,
             accel_disabled=self.accel_disabled,
+            spans_closed=self.spans_closed,
+            spans_orphaned=self.spans_orphaned,
         )
         return data
 
@@ -86,6 +91,8 @@ def run_chaos_campaign(
     n_cpus=2,
     rate_limit=None,
     contested_blocks=2,
+    telemetry=False,
+    series_interval=0,
 ):
     """Run one chaos campaign; returns (:class:`ChaosResult`, system).
 
@@ -105,6 +112,12 @@ def run_chaos_campaign(
     and surrogate paths; CPU loads there still count toward liveness but
     are excluded from value checking, since a corrupted accelerator
     writeback may legally land in them.
+
+    ``telemetry=True`` attaches a :class:`~repro.obs.Telemetry` hub to
+    the simulator — transaction spans, transitions, injected faults, and
+    marks are recorded and left on ``system.sim.obs`` (finalized) for
+    export; ``series_interval`` additionally samples counter time series
+    every that many ticks.
     """
     plan = _as_plan(faults, seed if fault_seed is None else fault_seed, windows)
     contested = [0x180000 + 64 * i for i in range(contested_blocks)]
@@ -137,6 +150,11 @@ def run_chaos_campaign(
         tags={"adversary": (adversary, kwargs)},
     )
     system = build_system(config)
+    obs = None
+    if telemetry:
+        obs = Telemetry(system.sim)
+        if series_interval:
+            obs.start_series(series_interval)
     # The accelerator owns its private pool and the contested blocks;
     # CPU-only pages carry no accelerator permissions, so CPU data
     # checking stays sound even when the link corrupts accelerator-bound
@@ -174,6 +192,13 @@ def run_chaos_campaign(
     except Exception as exc:  # noqa: BLE001 - any other escape is a host crash
         result.host_crashed = True
         result.crash_detail = f"{type(exc).__name__}: {exc}"
+    if obs is not None:
+        # After a full drain every span must have closed through its own
+        # lifecycle; finalize() force-closes stragglers as "orphaned" and
+        # the count is surfaced so campaigns can assert it stayed zero.
+        obs.finalize()
+        result.spans_closed = obs.spans.finished_total
+        result.spans_orphaned = obs.orphaned_count()
     result.cpu_loads_checked = tester.loads_checked
     result.cpu_loads_value_checked = tester.loads_value_checked
     result.cpu_stores_committed = tester.stores_committed

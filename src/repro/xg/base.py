@@ -108,6 +108,14 @@ class CrossingGuardBase(CoherenceController):
         self.mirror = {} if variant is XGVariant.FULL_STATE else None
         self.mirror_high_water = 0
         super().__init__(sim, name)
+        # pre-bound hot-path counters, keyed by message type so the
+        # f"to_accel.{...}" strings are built once per type rather than
+        # once per message (no-op sinks when metrics are off)
+        self._accel_send_sinks = {}
+        self._host_send_sinks = {}
+        self._accel_req_sinks = {}
+        self._host_msgs_sink = self.stats.sink("xg_to_host_msgs")
+        self._violation_sink = self.stats.sink("guarantee_violations")
 
     # -- wiring ------------------------------------------------------------------
 
@@ -126,21 +134,35 @@ class CrossingGuardBase(CoherenceController):
     def send_to_accel(self, mtype, addr, **kw):
         msg = Message(mtype, addr, sender=self.name, dest=self.accel_name, **kw)
         self.accel_net.send(msg, "fromxg")
-        self.stats.inc(f"to_accel.{mtype.name}")
+        sink = self._accel_send_sinks.get(mtype)
+        if sink is None:
+            sink = self.stats.sink(f"to_accel.{mtype.name}")
+            self._accel_send_sinks[mtype] = sink
+        sink.inc()
         return msg
 
     def send_to_host(self, mtype, addr, dest, port, **kw):
         msg = Message(mtype, addr, sender=self.name, dest=dest, **kw)
         self.host_net.send(msg, port)
-        self.stats.inc("xg_to_host_msgs")
-        self.stats.inc(f"xg_to_host.{mtype.name}")
+        self._host_msgs_sink.inc()
+        sink = self._host_send_sinks.get(mtype)
+        if sink is None:
+            sink = self.stats.sink(f"xg_to_host.{mtype.name}")
+            self._host_send_sinks[mtype] = sink
+        sink.inc()
         return msg
 
     # -- error reporting -----------------------------------------------------------
 
     def report(self, guarantee, addr, description):
-        self.stats.inc("guarantee_violations")
+        self._violation_sink.inc()
         self.stats.inc(f"violation.{guarantee.name}")
+        obs = self.sim.obs
+        if obs is not None:
+            obs.record_mark(
+                self.sim.tick, "violation", component=self.name,
+                name=guarantee.name, addr=addr,
+            )
         return self.error_log.report(
             self.sim.tick, guarantee, addr, description, accel=self.accel_name or ""
         )
@@ -206,6 +228,12 @@ class CrossingGuardBase(CoherenceController):
                 # was already consumed — sink it silently rather than
                 # reporting a spurious G1b/G2b against the accelerator.
                 self.stats.inc(f"duplicates_sunk.{port}")
+                obs = self.sim.obs
+                if obs is not None:
+                    obs.record_mark(
+                        self.sim.tick, "duplicate_sunk",
+                        component=self.name, addr=msg.addr,
+                    )
                 return CONSUMED
             if port == "accel_request":
                 outcome = self._handle_accel_request(msg)
@@ -303,6 +331,15 @@ class CrossingGuardBase(CoherenceController):
                 AccelMsg.DataS, addr, data=mirror.retained_data.copy()
             )
             self.stats.inc("retained_hits")
+            obs = self.sim.obs
+            if obs is not None:
+                # Served from XG-local state: a zero-latency span so the
+                # trace still shows the request happened.
+                span = obs.spans.start(
+                    "accel_get", self.name, addr, self.sim.tick,
+                    req=msg.mtype.name,
+                )
+                obs.spans.finish(span, self.sim.tick, status="retained_hit")
             return CONSUMED
         tbe = self.tbes.allocate(addr, "accel_get", now=self.sim.tick)
         tbe.meta["kind"] = "accel_get"
@@ -314,9 +351,23 @@ class CrossingGuardBase(CoherenceController):
             and not permission.allows_write()
             and not self.is_full_state
         )
-        self.stats.inc(f"accel_req.{msg.mtype.name}")
+        self._count_accel_req(msg.mtype)
+        obs = self.sim.obs
+        if obs is not None:
+            span = obs.spans.start(
+                "accel_get", self.name, addr, self.sim.tick, req=msg.mtype.name
+            )
+            tbe.meta["span"] = span
+            obs.spans.phase(span, "translated", self.sim.tick)
         self.host_issue_get(addr, want_m=want_m, gets_only=gets_only, tbe=tbe)
         return CONSUMED
+
+    def _count_accel_req(self, mtype):
+        sink = self._accel_req_sinks.get(mtype)
+        if sink is None:
+            sink = self.stats.sink(f"accel_req.{mtype.name}")
+            self._accel_req_sinks[mtype] = sink
+        sink.inc()
 
     def _accel_put(self, msg, addr):
         permission = self.permissions.lookup(addr)
@@ -353,22 +404,35 @@ class CrossingGuardBase(CoherenceController):
                 Guarantee.G1A_STABLE_REQUEST, addr, f"{msg.mtype.name} without data payload"
             )
             return CONSUMED
-        self.stats.inc(f"accel_req.{msg.mtype.name}")
+        self._count_accel_req(msg.mtype)
+        obs = self.sim.obs
+        span = None
+        if obs is not None:
+            span = obs.spans.start(
+                "accel_put", self.name, addr, self.sim.tick, req=msg.mtype.name
+            )
         # The interface promises exactly one response per request; XG is
         # trusted, so it can ack immediately and complete the writeback
         # toward the host asynchronously.
         self.send_to_accel(AccelMsg.WBAck, addr)
+        if span is not None:
+            obs.spans.phase(span, "wback_acked", self.sim.tick)
         retained = mirror is not None and mirror.retained_data is not None
         self.mirror_drop_accel(addr)
         if msg.mtype is AccelMsg.PutS and retained:
             # XG still owns the block toward the host; nothing to send.
             self.stats.inc("puts_absorbed_retained")
+            if span is not None:
+                obs.spans.finish(span, self.sim.tick, status="absorbed")
             return CONSUMED
         tbe = self.tbes.allocate(addr, "accel_put", now=self.sim.tick)
         tbe.meta["kind"] = "accel_put"
         tbe.meta["put_type"] = msg.mtype
         tbe.data = msg.data.copy() if msg.data is not None else None
         tbe.dirty = msg.mtype is AccelMsg.PutM
+        if span is not None:
+            tbe.meta["span"] = span
+            obs.spans.phase(span, "translated", self.sim.tick)
         self.host_issue_put(addr, msg.mtype, tbe)
         return CONSUMED
 
@@ -406,6 +470,11 @@ class CrossingGuardBase(CoherenceController):
             # InvAck it sent from state B — expected, absorb it and close.
             self._close_probe(addr, tbe)
             return CONSUMED
+        obs = self.sim.obs
+        if obs is not None:
+            span = tbe.meta.get("span")
+            if span is not None:
+                obs.spans.phase(span, "accel_answered", self.sim.tick)
         timeout = tbe.meta.get("timeout_event")
         if timeout is not None:
             timeout.cancel()
@@ -502,6 +571,13 @@ class CrossingGuardBase(CoherenceController):
         timeout = tbe.meta.get("timeout_event")
         if timeout is not None:
             timeout.cancel()
+        obs = self.sim.obs
+        if obs is not None:
+            span = tbe.meta.get("span")
+            if span is not None:
+                obs.spans.finish(
+                    span, self.sim.tick, status=tbe.meta.get("span_status", "ok")
+                )
         if addr in self.tbes:
             self.tbes.deallocate(addr)
         attempts = tbe.meta.get("probe_attempts", 0)
@@ -536,6 +612,11 @@ class CrossingGuardBase(CoherenceController):
         """
         addr = self.align(msg.addr)
         self.stats.inc("put_inv_races")
+        obs = self.sim.obs
+        if obs is not None:
+            span = tbe.meta.get("span")
+            if span is not None:
+                obs.spans.phase(span, "put_race", self.sim.tick)
         timeout = tbe.meta.get("timeout_event")
         if timeout is not None:
             timeout.cancel()
@@ -602,6 +683,11 @@ class CrossingGuardBase(CoherenceController):
         tbe.meta["context"] = context
         mirror = self.mirror_entry(addr)
         tbe.meta["mirror_owned"] = bool(mirror is not None and mirror.accel_state == "O")
+        obs = self.sim.obs
+        if obs is not None:
+            tbe.meta["span"] = obs.spans.start(
+                "probe", self.name, addr, self.sim.tick, needs_data=needs_data
+            )
         if self.error_log.accel_disabled:
             # Quarantine: never probe a disabled accelerator — synthesize
             # the surrogate on the next tick so the host is not held
@@ -611,6 +697,8 @@ class CrossingGuardBase(CoherenceController):
             self.stats.inc("quarantine_surrogates")
             return tbe
         self.send_to_accel(AccelMsg.Invalidate, addr)
+        if obs is not None:
+            obs.spans.phase(tbe.meta["span"], "forwarded", self.sim.tick)
         tbe.meta["timeout_event"] = self.sim.schedule(
             self.accel_timeout, self._probe_timeout, addr
         )
@@ -627,6 +715,7 @@ class CrossingGuardBase(CoherenceController):
             # obligation remains — close quietly and budget one late echo
             # in case the ack is merely delayed.
             self.stats.inc("trailing_ack_timeouts")
+            tbe.meta["span_status"] = "trailing_ack_lost"
             self._close_probe(addr, tbe)
             self._absorb_responses[addr] = [
                 tbe.meta.get("probe_attempts", 0) + 1,
@@ -644,6 +733,11 @@ class CrossingGuardBase(CoherenceController):
             # answer) may simply have been lost on an unreliable link.
             tbe.meta["probe_attempts"] = attempts + 1
             self.stats.inc("probe_retries")
+            obs = self.sim.obs
+            if obs is not None:
+                span = tbe.meta.get("span")
+                if span is not None:
+                    obs.spans.phase(span, f"retry_{attempts + 1}", self.sim.tick)
             self.send_to_accel(AccelMsg.Invalidate, addr)
             wait = min(self.accel_timeout * (2 ** (attempts + 1)), 8 * self.accel_timeout)
             tbe.meta["timeout_event"] = self.sim.schedule(wait, self._probe_timeout, addr)
@@ -668,6 +762,7 @@ class CrossingGuardBase(CoherenceController):
         got_wb, data, dirty_flag = self._apply_retained(addr, needs_data, got_wb, data, got_wb)
         self.mirror_remove(addr)
         self.host_answer_probe(addr, tbe, got_wb=got_wb, data=data, dirty=dirty_flag)
+        tbe.meta["span_status"] = "timeout"
         self._close_probe(addr, tbe)
         self.request_wakeup()
 
@@ -691,6 +786,11 @@ class CrossingGuardBase(CoherenceController):
         """
         addr = self.align(addr)
         tbe = self.tbes.lookup(addr)
+        obs = self.sim.obs
+        if obs is not None:
+            span = tbe.meta.get("span")
+            if span is not None:
+                obs.spans.phase(span, "host_granted", self.sim.tick)
         permission = tbe.permission
         if grant in ("E", "M") and not permission.allows_write():
             # Guarantee 0b: the accelerator may never own a block it cannot
@@ -713,12 +813,21 @@ class CrossingGuardBase(CoherenceController):
                 self.send_to_accel(AccelMsg.DataM, addr, data=data.copy(), dirty=True)
             self.stats.inc(f"grants_{grant}")
         self.tbes.deallocate(addr)
+        if obs is not None:
+            span = tbe.meta.get("span")
+            if span is not None:
+                obs.spans.finish(span, self.sim.tick, status="ok", grant=grant)
         self.wake_stalled(addr)
 
     def finish_accel_put(self, addr):
         """Host side completed (or absorbed the Nack for) a writeback."""
         addr = self.align(addr)
-        self.tbes.deallocate(addr)
+        tbe = self.tbes.deallocate(addr)
+        obs = self.sim.obs
+        if obs is not None:
+            span = tbe.meta.get("span")
+            if span is not None:
+                obs.spans.finish(span, self.sim.tick, status="ok")
         self.wake_stalled(addr)
 
     def context_switch_cost(self):

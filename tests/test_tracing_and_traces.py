@@ -63,6 +63,44 @@ def test_tracer_detach_restores_network():
     assert len(tracer) == 0
 
 
+def test_tracer_layered_detach_preserves_other_tracers():
+    """Regression: detaching the first of two tracers on one network used
+    to restore the pre-second-tracer ``send``, silently unhooking the
+    survivor."""
+    system = _system()
+    first = MessageTracer([system.host_net])
+    second = MessageTracer([system.host_net])
+    first.detach()
+    system.cpu_seqs[0].load(0x1000)
+    system.sim.run()
+    assert len(first) == 0
+    assert len(second) > 0
+    second.detach()
+    # Last layer out restores the base method and drops the stack.
+    assert not hasattr(system.host_net, "_tracer_stack")
+    recorded = len(second)
+    system.cpu_seqs[0].load(0x2000)
+    system.sim.run()
+    assert len(second) == recorded
+
+
+def test_tracer_detach_out_of_order_and_idempotent():
+    system = _system()
+    a = MessageTracer([system.host_net])
+    b = MessageTracer([system.host_net])
+    c = MessageTracer([system.host_net])
+    b.detach()
+    b.detach()  # second detach is a no-op, not an error
+    system.cpu_seqs[0].load(0x1000)
+    system.sim.run()
+    assert len(b) == 0
+    assert len(a) > 0
+    assert len(a) == len(c)
+    c.detach()
+    a.detach()
+    assert not hasattr(system.host_net, "_tracer_stack")
+
+
 def test_recorder_captures_issued_ops():
     system = _system()
     recorder = TraceRecorder(system.sequencers)
