@@ -51,6 +51,20 @@ def test_engine_throughput(once):
             title="campaign wall-clock (scaling depends on host core count)",
         )
     )
+    dispatch = report["dispatch"]
+    print(
+        format_table(
+            ["controller", "count", "entries", "fires", "fires %", "stalls"],
+            [
+                (ctype, row["controllers"], row["table_entries"], row["fires"],
+                 f"{row['fires_pct']:.1f}%", row["stalls"])
+                for ctype, row in dispatch["controllers"].items()
+            ],
+            title=(f"dispatch breakdown ({dispatch['host']} stress, "
+                   f"{dispatch['dispatch_mode']} mode, "
+                   f"{dispatch['events_per_sec']:,.0f} events/sec)"),
+        )
+    )
 
     # Event/message counts are seed-deterministic: any drift here means the
     # engine's behavior changed, not just its speed.
@@ -60,6 +74,12 @@ def test_engine_throughput(once):
     assert report["events_per_sec"] > 0
     campaign = report["campaign"]
     assert all(r["failures"] == 0 for r in campaign["rows"]), campaign["rows"]
+    assert dispatch["dispatch_mode"] == "compiled"
+    assert dispatch["fires_total"] > 0
+    # every fire went through a controller with a non-empty compiled table
+    # or an XG/method-driven controller (entries == 0 is legal there)
+    assert sum(r["fires"] for r in dispatch["controllers"].values()) == \
+        dispatch["fires_total"]
 
     out = os.environ.get("BENCH_ENGINE_OUT", "BENCH_engine.json")
     if out:

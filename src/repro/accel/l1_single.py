@@ -98,10 +98,11 @@ class AccelL1(CacheControllerBase):
     # -- dispatch --------------------------------------------------------------------
 
     def handle_message(self, port, msg):
-        if port == "mandatory":
-            return self._handle_mandatory(msg)
-        state = self.block_state(msg.addr)
-        return self.fire(state, _XG_EVENTS[msg.mtype], msg)
+        # Monomorphic fast path: grants/probes from XG dominate, and
+        # "fromxg" is also the higher-priority port — check it first.
+        if port == "fromxg":
+            return self.fire(self.block_state(msg.addr), _XG_EVENTS[msg.mtype], msg)
+        return self._handle_mandatory(msg)
 
     def _handle_mandatory(self, msg):
         addr = self.align(msg.addr)

@@ -159,6 +159,12 @@ class AccelL2Shared(CoherenceController):
     def handle_message(self, port, msg):
         addr = self.align(msg.addr)
         state = self._state(addr)
+        # Monomorphic fast path: grants/probes from XG dominate, and
+        # "fromxg" is also the highest-priority port — check it first.
+        if port == "fromxg":
+            return self.fire(state, _XG_MSGS[msg.mtype], msg)
+        if port == "accel_response":
+            return self.fire(state, _L1_RESP[msg.mtype], msg)
         if port == "accel_request":
             event = _L1_REQ[msg.mtype]
             if state in (AL2State.B_FETCH, AL2State.B_LOCAL, AL2State.B_PUT, AL2State.B_EVICT):
@@ -182,9 +188,7 @@ class AccelL2Shared(CoherenceController):
                     if self._fill_room(addr) <= 0:
                         return RETRY
             return self.fire(self._state(addr), event, msg)
-        if port == "accel_response":
-            return self.fire(state, _L1_RESP[msg.mtype], msg)
-        return self.fire(state, _XG_MSGS[msg.mtype], msg)
+        raise AssertionError(f"unknown port {port}")
 
     # -- transition table ----------------------------------------------------------------
 

@@ -9,6 +9,8 @@ Commands:
 * ``trace``       — traced chaos run exported as Chrome/Perfetto JSON;
 * ``report``      — telemetry-on stress: coverage heatmap + span percentiles;
 * ``bench``       — engine events/sec microbenchmark + campaign wall-clock;
+* ``golden``      — golden-run digests: verify against the committed file,
+  prove compiled/legacy dispatch equivalence, or refresh with ``--update``;
 * ``verify``      — exhaustive single-address interface verification;
 * ``perf``        — runtime comparison of the cache organizations;
 * ``experiment``  — run one of the table/figure experiments (e1..e12).
@@ -125,10 +127,44 @@ def _cmd_bench(args):
                 title="campaign wall-clock",
             )
         )
+    if "dispatch" in report:
+        dispatch = report["dispatch"]
+        print()
+        print(
+            format_table(
+                ["controller", "count", "entries", "fires", "fires %", "stalls"],
+                [
+                    (ctype, row["controllers"], row["table_entries"],
+                     row["fires"], f"{row['fires_pct']:.1f}%", row["stalls"])
+                    for ctype, row in dispatch["controllers"].items()
+                ],
+                title=(f"dispatch breakdown ({dispatch['host']} stress, "
+                       f"{dispatch['dispatch_mode']} mode, "
+                       f"{dispatch['events_per_sec']:,.0f} events/sec)"),
+            )
+        )
     if args.out:
         with open(args.out, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
         print(f"\nwrote {args.out}")
+    if args.baseline:
+        from repro.eval.perf_gate import (
+            compare_reports,
+            format_comparison,
+            load_report,
+            write_comparison,
+        )
+
+        comparison = compare_reports(
+            report, load_report(args.baseline), tolerance=args.tolerance
+        )
+        print()
+        print(format_comparison(comparison))
+        if args.gate_out:
+            write_comparison(comparison, args.gate_out)
+            print(f"wrote {args.gate_out}")
+        if not comparison["passed"]:
+            return 1
     if args.obs_out:
         from repro.eval.profiling import obs_overhead_report
 
@@ -152,6 +188,55 @@ def _cmd_bench(args):
         with open(args.obs_out, "w") as fh:
             json.dump(obs_report, fh, indent=2, sort_keys=True)
         print(f"\nwrote {args.obs_out}")
+    return 0
+
+
+def _cmd_golden(args):
+    from repro.testing.golden import (
+        equivalence_matrix,
+        load_pinned,
+        pinned_digests,
+        write_pinned,
+    )
+
+    if args.update:
+        payload = write_pinned(args.path, seed=args.seed, ops=args.ops)
+        print(f"wrote {len(payload['digests'])} golden digests to {args.path}")
+        for label, digest in sorted(payload["digests"].items()):
+            print(f"  {label}: {digest['transitions_count']} transitions, "
+                  f"{digest['transitions'][:16]}…")
+        return 0
+    if args.matrix:
+        rows = equivalence_matrix(args.scenario, seed=args.seed, ops=args.ops)
+        bad = [label for label, row in rows.items() if not row["identical"]]
+        print(
+            format_table(
+                ["config", "transitions", "compiled == legacy"],
+                [
+                    (label, row["compiled"]["transitions_count"],
+                     "OK" if row["identical"] else "MISMATCH")
+                    for label, row in sorted(rows.items())
+                ],
+                title=f"dispatch equivalence matrix ({args.scenario})",
+            )
+        )
+        if bad:
+            print(f"\nMISMATCH in: {', '.join(bad)}", file=sys.stderr)
+        return 1 if bad else 0
+    pinned = load_pinned(args.path)
+    fresh = pinned_digests(seed=pinned["seed"], ops=pinned["ops"])
+    bad = []
+    for label, digest in sorted(pinned["digests"].items()):
+        ok = fresh["digests"].get(label) == digest
+        print(f"  {label}: {'OK' if ok else 'CHANGED'}")
+        if not ok:
+            bad.append(label)
+    if bad:
+        print(f"\ngolden digests changed: {', '.join(bad)}\n"
+              f"If deliberate, refresh with `python -m repro golden --update` "
+              f"and explain the behavior change in the PR.", file=sys.stderr)
+        return 1
+    print("all golden digests match")
     return 0
 
 
@@ -482,7 +567,34 @@ def build_parser():
                             "default / traced) and write BENCH_obs.json there")
     bench.add_argument("--out", default=None, metavar="PATH",
                        help="write the BENCH_engine.json payload here")
+    bench.add_argument("--baseline", default=None, metavar="PATH",
+                       help="gate events/sec against this committed baseline "
+                            "report; exit 1 on regression")
+    bench.add_argument("--tolerance", type=float, default=0.30,
+                       help="fractional events/sec slowdown the gate "
+                            "tolerates (deterministic counts are exact)")
+    bench.add_argument("--gate-out", dest="gate_out", default=None,
+                       metavar="PATH", help="write the gate comparison JSON "
+                       "here (CI archives it)")
     bench.set_defaults(fn=_cmd_bench)
+
+    golden = sub.add_parser(
+        "golden", help="golden-run digests: verify, prove equivalence, or refresh"
+    )
+    golden.add_argument("--update", action="store_true",
+                        help="regenerate the committed digest file from seed runs")
+    golden.add_argument("--matrix", action="store_true",
+                        help="run the compiled-vs-legacy equivalence matrix "
+                             "instead of checking the committed digests")
+    golden.add_argument("--scenario", default="stress",
+                        choices=["stress", "fuzz", "chaos"],
+                        help="scenario for --matrix runs")
+    golden.add_argument("--seed", type=int, default=0)
+    golden.add_argument("--ops", type=int, default=400,
+                        help="CPU ops per run (matrix/update)")
+    golden.add_argument("--path", default="tests/golden/digests.json",
+                        metavar="PATH", help="committed digest file")
+    golden.set_defaults(fn=_cmd_golden)
 
     fuzz = sub.add_parser("fuzz", help="byzantine accelerator safety campaign")
     fuzz.add_argument("--host", default="mesi", choices=["mesi", "hammer", "mesif"])

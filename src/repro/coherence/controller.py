@@ -13,12 +13,35 @@ Semantics mirror gem5 Ruby's generated controllers:
 """
 
 from collections import defaultdict, deque
+from contextlib import contextmanager
 
 from repro.sim.component import Component
 
 CONSUMED = "consumed"
 STALL = "stall"
 RETRY = "retry"
+
+#: shared empty row for compiled-dispatch misses (never mutated)
+_NO_ROW = {}
+
+
+@contextmanager
+def dispatch_mode(mode):
+    """Build controllers under a specific dispatch mode.
+
+    ``"compiled"`` (the default) installs the flattened per-instance
+    fast path; ``"legacy"`` keeps the original table-lookup ``fire``
+    method. The golden-run equivalence suite constructs one system under
+    each mode and asserts their digests are identical.
+    """
+    if mode not in ("compiled", "legacy"):
+        raise ValueError(f"unknown dispatch mode {mode!r}")
+    previous = CoherenceController.DISPATCH_MODE
+    CoherenceController.DISPATCH_MODE = mode
+    try:
+        yield
+    finally:
+        CoherenceController.DISPATCH_MODE = previous
 
 
 class ProtocolError(RuntimeError):
@@ -57,6 +80,13 @@ class CoherenceController(Component):
 
     CONTROLLER_TYPE = "generic"
 
+    #: how :meth:`fire` dispatches: ``"compiled"`` flattens the transition
+    #: table into a per-instance closure at construction; ``"legacy"``
+    #: keeps the original dict-of-tuples lookup. Flip with
+    #: :func:`dispatch_mode`; both paths are step-for-step identical
+    #: (proven by :mod:`repro.testing.golden`).
+    DISPATCH_MODE = "compiled"
+
     #: ticks of processing time per consumed message (0 = infinitely fast,
     #: the default). When set, the controller handles one message per
     #: occupancy window, so a flooded directory develops real queueing —
@@ -71,10 +101,14 @@ class CoherenceController(Component):
         #: reachable only with a misbehaving accelerator behind XG)
         self.coverage_exempt = set()
         self._build_transitions()
+        self.recompile_dispatch()
         self._stalled = defaultdict(deque)
         self._stalled_since = {}
+        self._stalled_total = 0
         self._busy_until = 0
         self.protocol_errors = []
+        # input buffers in declared priority order, resolved once
+        self._prio_ports = tuple((port, self.in_ports[port]) for port in self.PORTS)
         # pre-bound hot-path counters (no-op sinks when metrics are off)
         self._stall_sink = self.stats.sink("stalls")
         self._anomaly_sink = self.stats.sink("protocol_anomalies")
@@ -93,6 +127,11 @@ class CoherenceController(Component):
         """Run the transition for (state, event); record coverage.
 
         Returns the handler's outcome (CONSUMED unless it says otherwise).
+
+        This is the legacy reference path. Under the default
+        ``DISPATCH_MODE = "compiled"`` it is shadowed by a per-instance
+        closure over the flattened table (see :meth:`recompile_dispatch`);
+        the two are behaviorally identical.
         """
         handler = self.transitions.get((state, event))
         if handler is None:
@@ -109,6 +148,61 @@ class CoherenceController(Component):
                     self.sim.tick, self.name, self.CONTROLLER_TYPE, state, event
                 )
         return outcome
+
+    def recompile_dispatch(self):
+        """(Re)flatten ``self.transitions`` into the compiled fast path.
+
+        Called automatically after ``_build_transitions``; call again after
+        mutating ``self.transitions`` at runtime, or the compiled table
+        keeps serving the old entries.
+        """
+        table = {}
+        for key, handler in self.transitions.items():
+            state, event = key
+            row = table.get(state)
+            if row is None:
+                row = table[state] = {}
+            # keep the original key tuple so coverage accounting reuses it
+            # instead of allocating a fresh tuple per fired transition
+            row[event] = (handler, key)
+        self._dispatch = table
+        if self.DISPATCH_MODE == "compiled":
+            self.fire = self._compile_fire()
+        else:
+            self.__dict__.pop("fire", None)
+
+    def _compile_fire(self):
+        """Build the monomorphic ``fire`` closure over pre-resolved state.
+
+        Everything the hot path needs — the flattened dispatch table, the
+        coverage dict, the simulator, and this controller's identity — is
+        captured once here, so per-message work is two dict probes plus the
+        handler call (no tuple allocation, no attribute chains).
+        """
+        dispatch = self._dispatch
+        coverage = self.coverage
+        sim = self.sim
+        name = self.name
+        ctype = self.CONTROLLER_TYPE
+        controller = self
+
+        def fire(state, event, msg):
+            entry = dispatch.get(state, _NO_ROW).get(event)
+            if entry is None:
+                raise ProtocolError(controller, state, event, msg)
+            handler, key = entry
+            outcome = handler(msg)
+            if outcome is None:
+                outcome = CONSUMED
+            if outcome is not STALL:
+                # Stalls are not transitions; only executed work counts.
+                coverage[key] += 1
+                obs = sim.obs
+                if obs is not None:
+                    obs.record_transition(sim.tick, name, ctype, state, event)
+            return outcome
+
+        return fire
 
     def has_transition(self, state, event):
         return (state, event) in self.transitions
@@ -129,12 +223,13 @@ class CoherenceController(Component):
         self._stalled_since.pop(addr, None)
         if not waiting:
             return
+        self._stalled_total -= len(waiting)
         for port, msg in reversed(waiting):
             self.in_ports[port].push_front(self.sim.tick, msg)
         self.request_wakeup()
 
     def stalled_count(self):
-        return sum(len(queue) for queue in self._stalled.values())
+        return self._stalled_total
 
     # -- main loop ---------------------------------------------------------------
 
@@ -144,8 +239,7 @@ class CoherenceController(Component):
             return
         while True:
             did_work = False
-            for port in self.PORTS:
-                buf = self.in_ports[port]
+            for port, buf in self._prio_ports:
                 # Pop BEFORE handling: a handler may wake stalled messages
                 # onto this port's head, and popping afterwards would
                 # remove the woken message and re-process this one.
@@ -157,6 +251,7 @@ class CoherenceController(Component):
                     key = self.stall_key(msg)
                     self._stalled[key].append((port, msg))
                     self._stalled_since.setdefault(key, self.sim.tick)
+                    self._stalled_total += 1
                     self._stall_sink.inc()
                     did_work = True
                 elif outcome == RETRY:
@@ -168,7 +263,7 @@ class CoherenceController(Component):
             if did_work and self.occupancy:
                 # Busy for the occupancy window; resume afterwards.
                 self._busy_until = self.sim.tick + self.occupancy
-                self.stats.inc("busy_ticks", self.occupancy)
+                self.note_busy(self.occupancy)
                 self.request_wakeup(self._busy_until)
                 return
             if not did_work:

@@ -1,0 +1,134 @@
+"""Bench regression gate: compare a BENCH_engine.json against a baseline.
+
+Wall-clock events/sec on shared CI runners is noisy, so the gate has two
+kinds of teeth, tuned differently:
+
+* **events/sec** — compared with a *tolerance band* (default 30% — wide
+  enough that host frequency scaling does not flap the gate, narrow
+  enough that a real engine regression, which historically shows up as
+  2x+, cannot hide);
+* **event counts** — compared *exactly*. The synthetic mix is seeded and
+  deterministic: a drift in ``events`` or ``final_tick`` means the
+  engine's behavior changed, not just its speed, and no band excuses it.
+
+``python -m repro bench --baseline benchmarks/baseline_engine.json``
+runs the gate after the measurement; CI archives the comparison JSON.
+Refresh the committed baseline deliberately (same flag plus ``--out``)
+when an intentional engine change moves the numbers.
+"""
+
+import json
+
+
+#: Default fractional slowdown tolerated on events/sec metrics.
+DEFAULT_TOLERANCE = 0.30
+
+#: Deterministic per-workload fields that must match the baseline exactly.
+EXACT_FIELDS = ("events", "final_tick")
+
+
+def load_report(path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def compare_reports(current, baseline, tolerance=DEFAULT_TOLERANCE):
+    """Gate ``current`` against ``baseline``; returns the comparison dict.
+
+    ``passed`` is False when any events/sec metric falls below
+    ``(1 - tolerance) * baseline`` or any deterministic count drifts.
+    Speedups never fail the gate (they update the story, not break it).
+    """
+    if not 0 <= tolerance < 1:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    rows = []
+    failures = []
+
+    def check_rate(metric, cur, base):
+        ratio = (cur / base) if base else None
+        ok = ratio is None or ratio >= 1.0 - tolerance
+        rows.append({
+            "metric": metric,
+            "current": cur,
+            "baseline": base,
+            "ratio": ratio,
+            "ok": ok,
+        })
+        if not ok:
+            failures.append(metric)
+
+    check_rate("events_per_sec", current["events_per_sec"],
+               baseline["events_per_sec"])
+    base_workloads = baseline.get("workloads", {})
+    cur_workloads = current.get("workloads", {})
+    for name in sorted(base_workloads):
+        if name not in cur_workloads:
+            rows.append({"metric": f"{name}.events_per_sec", "current": None,
+                         "baseline": base_workloads[name]["events_per_sec"],
+                         "ratio": None, "ok": False})
+            failures.append(f"{name}: workload missing from current report")
+            continue
+        check_rate(
+            f"{name}.events_per_sec",
+            cur_workloads[name]["events_per_sec"],
+            base_workloads[name]["events_per_sec"],
+        )
+
+    exact_mismatches = []
+    for name in sorted(base_workloads):
+        cur = cur_workloads.get(name)
+        if cur is None:
+            continue
+        for field in EXACT_FIELDS:
+            if field in base_workloads[name] and field in cur \
+                    and cur[field] != base_workloads[name][field]:
+                detail = {
+                    "workload": name,
+                    "field": field,
+                    "current": cur[field],
+                    "baseline": base_workloads[name][field],
+                }
+                exact_mismatches.append(detail)
+                failures.append(
+                    f"{name}.{field}: {cur[field]} != baseline "
+                    f"{base_workloads[name][field]} (deterministic drift)"
+                )
+
+    return {
+        "gate": "engine_bench",
+        "tolerance": tolerance,
+        "rows": rows,
+        "exact_mismatches": exact_mismatches,
+        "failures": failures,
+        "passed": not failures,
+    }
+
+
+def write_comparison(comparison, path):
+    with open(path, "w") as fh:
+        json.dump(comparison, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def format_comparison(comparison):
+    """Human-readable gate summary (one line per metric)."""
+    lines = [
+        f"perf gate (tolerance {comparison['tolerance']:.0%} on events/sec, "
+        f"exact on deterministic counts):"
+    ]
+    for row in comparison["rows"]:
+        if row["ratio"] is None:
+            lines.append(f"  {row['metric']}: MISSING")
+            continue
+        verdict = "ok" if row["ok"] else "REGRESSION"
+        lines.append(
+            f"  {row['metric']}: {row['current']:,.0f} vs baseline "
+            f"{row['baseline']:,.0f} ({row['ratio']:.2f}x) {verdict}"
+        )
+    for miss in comparison["exact_mismatches"]:
+        lines.append(
+            f"  {miss['workload']}.{miss['field']}: {miss['current']} != "
+            f"{miss['baseline']} DETERMINISTIC DRIFT"
+        )
+    lines.append("PASSED" if comparison["passed"] else "FAILED")
+    return "\n".join(lines)

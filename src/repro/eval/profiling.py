@@ -13,6 +13,8 @@ repo. This module measures that kernel directly:
   campaign at different ``workers`` settings (the scaling figure);
 * :func:`profile_engine` — cProfile attribution for one workload, for
   finding the next hot spot;
+* :func:`dispatch_breakdown` — per-controller-type fires/stalls/table
+  sizes for a protocol stress run, so dispatch-path wins are attributable;
 * :func:`engine_benchmark_report` — the ``BENCH_engine.json``-compatible
   dict the CI perf-smoke job archives.
 
@@ -313,6 +315,82 @@ def bench_xg_stress(mode="default", seed=0, ops=1200, repeats=3):
     return best
 
 
+def dispatch_breakdown(host=None, seed=0, ops=1200):
+    """Per-controller dispatch accounting for one XG stress run.
+
+    Attributes the protocol-path work to controller types: how many
+    compiled table entries each type carries, how many transitions fired
+    through the dispatch table, and how often messages stalled (the
+    indexed stall-queue path). Run under both dispatch modes (see
+    :func:`repro.coherence.controller.dispatch_mode`) the ``fires`` and
+    ``stalls`` columns are identical — only ``seconds`` moves, which is
+    what makes the events/sec win attributable to dispatch itself.
+    """
+    from repro.host.config import AccelOrg, HostProtocol, SystemConfig
+    from repro.host.system import build_system
+    from repro.coherence.controller import CoherenceController
+    from repro.testing.random_tester import RandomTester
+
+    config = SystemConfig(
+        host=host or HostProtocol.MESI,
+        org=AccelOrg.XG,
+        n_cpus=2,
+        n_accel_cores=2,
+        cpu_l1_sets=2,
+        cpu_l1_assoc=1,
+        shared_l2_sets=4,
+        shared_l2_assoc=2,
+        accel_l1_sets=2,
+        accel_l1_assoc=1,
+        randomize_latencies=True,
+        seed=seed,
+        deadlock_threshold=400_000,
+        accel_timeout=150_000,
+        mem_latency=30,
+        trace_depth=0,
+    )
+    system = build_system(config)
+    blocks = [0x1000 + 64 * i for i in range(6)]
+    tester = RandomTester(
+        system.sim, system.sequencers, blocks,
+        ops_target=ops, store_fraction=0.45,
+    )
+    start = time.perf_counter()
+    tester.run()
+    elapsed = time.perf_counter() - start
+
+    by_type = {}
+    for ctrl in system.controllers():
+        row = by_type.setdefault(
+            ctrl.CONTROLLER_TYPE,
+            {"controllers": 0, "table_entries": 0, "fires": 0, "stalls": 0},
+        )
+        row["controllers"] += 1
+        row["table_entries"] += len(ctrl.transitions)
+        row["fires"] += sum(ctrl.coverage.values())
+        row["stalls"] += ctrl.stats.get("stalls")
+    total_fires = sum(r["fires"] for r in by_type.values())
+    return {
+        "host": config.host.name.lower(),
+        "dispatch_mode": CoherenceController.DISPATCH_MODE,
+        "seed": seed,
+        "ops": ops,
+        "events": system.sim._events_fired,
+        "final_tick": system.sim.tick,
+        "seconds": elapsed,
+        "events_per_sec": system.sim._events_fired / elapsed if elapsed else 0.0,
+        "fires_total": total_fires,
+        "controllers": {
+            ctype: dict(
+                row,
+                fires_pct=(100.0 * row["fires"] / total_fires
+                           if total_fires else 0.0),
+            )
+            for ctype, row in sorted(by_type.items())
+        },
+    }
+
+
 def obs_overhead_report(scale=1, seed=0, repeats=3, stress_ops=1200):
     """The ``BENCH_obs.json`` payload: telemetry cost accounting.
 
@@ -374,8 +452,9 @@ def profile_engine(workload="ping_pong", scale=1, seed=0, top=15):
 
 
 def engine_benchmark_report(scale=1, seed=0, include_campaign=True,
-                            workers=None, repeats=3):
-    """The ``BENCH_engine.json`` payload: microbench mix + campaign scaling."""
+                            workers=None, repeats=3, include_dispatch=True):
+    """The ``BENCH_engine.json`` payload: microbench mix + campaign scaling
+    + (by default) the per-controller dispatch breakdown."""
     micro = run_engine_microbench(scale=scale, seed=seed, repeats=repeats)
     report = {
         "bench": "engine_throughput",
@@ -406,4 +485,6 @@ def engine_benchmark_report(scale=1, seed=0, include_campaign=True,
             "parallel_workers": resolved,
             "speedup": rows[-1]["speedup_vs_serial"],
         }
+    if include_dispatch:
+        report["dispatch"] = dispatch_breakdown(seed=seed)
     return report

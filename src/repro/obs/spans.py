@@ -203,6 +203,7 @@ class Telemetry:
         self.max_transitions = max_transitions
         self.faults = []
         self.marks = []
+        self.busy = []
         self.series = []
         self.series_interval = 0
         self._finalized = False
@@ -226,6 +227,15 @@ class Telemetry:
             (tick, component, ctype,
              getattr(state, "name", str(state)), getattr(event, "name", str(event)))
         )
+
+    def record_busy(self, tick, component, ticks):
+        """One occupancy window: ``component`` busy for ``ticks`` from ``tick``.
+
+        Recorded exactly when the ``busy_ticks`` counter increments, so the
+        sum over a component's records always equals its counter — the
+        Perfetto exporter draws its real occupancy tracks from these.
+        """
+        self.busy.append((tick, component, ticks))
 
     def record_fault(self, tick, link, kind, msg=None):
         mtype = getattr(getattr(msg, "mtype", None), "name", None)

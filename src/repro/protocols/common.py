@@ -36,22 +36,38 @@ class CacheControllerBase(CoherenceController):
         self.tbes = TBETable(capacity=tbe_capacity, name=name)
         self.block_size = block_size
         self.sequencers = {}
+        # pre-resolved hot-path accessors: block_state runs per message, so
+        # skip the attribute chains and (for power-of-two blocks) the
+        # modulo-based align
+        self._tbe_lookup = self.tbes.lookup
+        self._cache_lookup = self.cache.lookup
+        if block_size & (block_size - 1) == 0:
+            self._block_mask = ~(block_size - 1)
+        else:
+            self._block_mask = None
         super().__init__(sim, name)
 
     # -- state lookup ----------------------------------------------------------
 
     def block_state(self, addr):
         """Current protocol state of ``addr``'s block."""
-        addr = self.align(addr)
-        tbe = self.tbes.lookup(addr)
+        mask = self._block_mask
+        if mask is not None:
+            addr &= mask
+        else:
+            addr = block_align(addr, self.block_size)
+        tbe = self._tbe_lookup(addr)
         if tbe is not None:
             return tbe.state
-        entry = self.cache.lookup(addr, touch=False)
+        entry = self._cache_lookup(addr, touch=False)
         if entry is not None:
             return entry.state
         return self.INVALID_STATE
 
     def align(self, addr):
+        mask = self._block_mask
+        if mask is not None:
+            return addr & mask
         return block_align(addr, self.block_size)
 
     def stall_key(self, msg):

@@ -134,14 +134,15 @@ class HammerCache(CacheControllerBase):
     # -- dispatch ------------------------------------------------------------------
 
     def handle_message(self, port, msg):
-        if port == "mandatory":
-            return self._handle_mandatory(msg)
-        state = self.block_state(msg.addr)
+        # Monomorphic fast path: data/ack responses dominate steady-state
+        # traffic, so resolve them on the first compare.
+        if port == "response":
+            return self.fire(
+                self.block_state(msg.addr), _RESPONSE_EVENTS[msg.mtype], msg
+            )
         if port == "forward":
-            event = _PROBE_EVENTS[msg.mtype]
-        else:
-            event = _RESPONSE_EVENTS[msg.mtype]
-        return self.fire(state, event, msg)
+            return self.fire(self.block_state(msg.addr), _PROBE_EVENTS[msg.mtype], msg)
+        return self._handle_mandatory(msg)
 
     def _handle_mandatory(self, msg):
         addr = self.align(msg.addr)

@@ -91,26 +91,30 @@ class HammerDirectory(CoherenceController):
     def handle_message(self, port, msg):
         addr = msg.addr
         state = self._state(addr)
-        if port == "request":
-            if msg.mtype is HammerMsg.PutS:
-                # Hammer permits silent S eviction; an explicit PutS (only
-                # Crossing Guard sends one) is pure overhead — sink it.
-                self.stats.inc("puts_sunk")
-                return CONSUMED
-            if state is not DirState.IDLE:
-                return STALL
-            if msg.mtype in _GET_EVENTS:
-                return self.fire(state, _GET_EVENTS[msg.mtype], msg)
-            if msg.mtype in (HammerMsg.PutM, HammerMsg.PutE):
-                if self.owner_of(addr) == msg.sender:
-                    return self.fire(state, DirEvent.PutOwner, msg)
-                return self.fire(state, DirEvent.PutStale, msg)
-            raise ProtocolError(self, state, msg.mtype, msg, note="bad request type")
-        if msg.mtype in _UNBLOCK_EVENTS:
-            return self.fire(state, _UNBLOCK_EVENTS[msg.mtype], msg)
-        if msg.mtype is HammerMsg.WBData:
-            return self.fire(state, DirEvent.WBData, msg)
-        raise ProtocolError(self, state, msg.mtype, msg, note="bad response type")
+        # Monomorphic fast path: unblock/writeback responses dominate
+        # steady-state traffic, so resolve them on the first compare.
+        if port == "response":
+            event = _UNBLOCK_EVENTS.get(msg.mtype)
+            if event is not None:
+                return self.fire(state, event, msg)
+            if msg.mtype is HammerMsg.WBData:
+                return self.fire(state, DirEvent.WBData, msg)
+            raise ProtocolError(self, state, msg.mtype, msg, note="bad response type")
+        # request port
+        if msg.mtype is HammerMsg.PutS:
+            # Hammer permits silent S eviction; an explicit PutS (only
+            # Crossing Guard sends one) is pure overhead — sink it.
+            self.stats.inc("puts_sunk")
+            return CONSUMED
+        if state is not DirState.IDLE:
+            return STALL
+        if msg.mtype in _GET_EVENTS:
+            return self.fire(state, _GET_EVENTS[msg.mtype], msg)
+        if msg.mtype in (HammerMsg.PutM, HammerMsg.PutE):
+            if self.owner_of(addr) == msg.sender:
+                return self.fire(state, DirEvent.PutOwner, msg)
+            return self.fire(state, DirEvent.PutStale, msg)
+        raise ProtocolError(self, state, msg.mtype, msg, note="bad request type")
 
     # -- transition table -----------------------------------------------------------------
 

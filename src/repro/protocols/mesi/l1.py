@@ -145,17 +145,19 @@ class MesiL1(CacheControllerBase):
     # -- message dispatch ------------------------------------------------------
 
     def handle_message(self, port, msg):
+        # Monomorphic fast path: data/ack responses dominate steady-state
+        # traffic, so resolve them on the first compare.
+        if port == "response":
+            return self.fire(
+                self.block_state(msg.addr), _RESPONSE_EVENTS[msg.mtype], msg
+            )
+        if port == "forward":
+            return self.fire(
+                self.block_state(msg.addr), _FORWARD_EVENTS[msg.mtype], msg
+            )
         if port == "mandatory":
             return self._handle_mandatory(msg)
-        addr = msg.addr
-        state = self.block_state(addr)
-        if port == "forward":
-            event = _FORWARD_EVENTS[msg.mtype]
-        elif port == "response":
-            event = _RESPONSE_EVENTS[msg.mtype]
-        else:
-            raise AssertionError(f"unknown port {port}")
-        return self.fire(state, event, msg)
+        raise AssertionError(f"unknown port {port}")
 
     def _handle_mandatory(self, msg):
         addr = self.align(msg.addr)

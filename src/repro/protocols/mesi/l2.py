@@ -141,30 +141,31 @@ class MesiL2(CoherenceController):
     def handle_message(self, port, msg):
         addr = msg.addr
         state = self._state(addr)
-        if port == "request":
-            if state in (L2State.IV, L2State.BUSY, L2State.EV_ACK, L2State.EV_DATA):
-                return STALL
-            if msg.mtype in _GET_EVENTS:
-                event = _GET_EVENTS[msg.mtype]
-                if state is L2State.NP and self._fill_room(addr) <= 0:
-                    victim = self._stable_victim(addr)
-                    if victim is not None:
-                        synthetic = Message(
-                            L2Event.Replacement, victim.addr, sender=self.name, dest=self.name
-                        )
-                        self.fire(victim.state, L2Event.Replacement, synthetic)
-                    if self._fill_room(addr) <= 0:
-                        # Eviction is in flight (or impossible right now);
-                        # its completion rescans this port.
-                        return RETRY
-                return self.fire(state, event, msg)
-            if msg.mtype in _PUT_TYPES:
-                event = self._classify_put(msg, state)
-                return self.fire(state, event, msg)
-            raise ProtocolError(self, state, msg.mtype, msg, note="bad request type")
-        # response port
-        event = _RESPONSE_EVENTS[msg.mtype]
-        return self.fire(state, event, msg)
+        # Monomorphic fast path: data/ack/unblock responses dominate
+        # steady-state traffic, so resolve them on the first compare.
+        if port == "response":
+            return self.fire(state, _RESPONSE_EVENTS[msg.mtype], msg)
+        # request port
+        if state in (L2State.IV, L2State.BUSY, L2State.EV_ACK, L2State.EV_DATA):
+            return STALL
+        if msg.mtype in _GET_EVENTS:
+            event = _GET_EVENTS[msg.mtype]
+            if state is L2State.NP and self._fill_room(addr) <= 0:
+                victim = self._stable_victim(addr)
+                if victim is not None:
+                    synthetic = Message(
+                        L2Event.Replacement, victim.addr, sender=self.name, dest=self.name
+                    )
+                    self.fire(victim.state, L2Event.Replacement, synthetic)
+                if self._fill_room(addr) <= 0:
+                    # Eviction is in flight (or impossible right now);
+                    # its completion rescans this port.
+                    return RETRY
+            return self.fire(state, event, msg)
+        if msg.mtype in _PUT_TYPES:
+            event = self._classify_put(msg, state)
+            return self.fire(state, event, msg)
+        raise ProtocolError(self, state, msg.mtype, msg, note="bad request type")
 
     def _classify_put(self, msg, state):
         entry = self.cache.lookup(msg.addr, touch=False)

@@ -132,33 +132,36 @@ class MesifL2(CoherenceController):
     def handle_message(self, port, msg):
         addr = msg.addr
         state = self._state(addr)
-        if port == "request":
-            if state in (FL2State.IV, FL2State.BUSY, FL2State.EV_ACK, FL2State.EV_DATA):
-                return STALL
-            if msg.mtype in _GET_EVENTS:
-                event = _GET_EVENTS[msg.mtype]
-                if state is FL2State.NP and self._fill_room(addr) <= 0:
-                    victim = self._stable_victim(addr)
-                    if victim is not None:
-                        synthetic = Message(
-                            FL2Event.Replacement, victim.addr, sender=self.name, dest=self.name
-                        )
-                        self.fire(victim.state, FL2Event.Replacement, synthetic)
-                    if self._fill_room(addr) <= 0:
-                        return RETRY
-                return self.fire(self._state(addr), event, msg)
-            if msg.mtype in (MesifMsg.PutE, MesifMsg.PutM):
-                entry = self.cache.lookup(addr, touch=False)
-                if (
-                    state is FL2State.X
-                    and entry.meta["owner"] == msg.sender
-                ):
-                    event = FL2Event.PutM if msg.mtype is MesifMsg.PutM else FL2Event.PutE
-                else:
-                    event = FL2Event.PutStale
-                return self.fire(state, event, msg)
-            raise ProtocolError(self, state, msg.mtype, msg, note="bad request type")
-        return self.fire(state, _RESPONSE_EVENTS[msg.mtype], msg)
+        # Monomorphic fast path: data/ack/unblock responses dominate
+        # steady-state traffic, so resolve them on the first compare.
+        if port == "response":
+            return self.fire(state, _RESPONSE_EVENTS[msg.mtype], msg)
+        # request port
+        if state in (FL2State.IV, FL2State.BUSY, FL2State.EV_ACK, FL2State.EV_DATA):
+            return STALL
+        if msg.mtype in _GET_EVENTS:
+            event = _GET_EVENTS[msg.mtype]
+            if state is FL2State.NP and self._fill_room(addr) <= 0:
+                victim = self._stable_victim(addr)
+                if victim is not None:
+                    synthetic = Message(
+                        FL2Event.Replacement, victim.addr, sender=self.name, dest=self.name
+                    )
+                    self.fire(victim.state, FL2Event.Replacement, synthetic)
+                if self._fill_room(addr) <= 0:
+                    return RETRY
+            return self.fire(self._state(addr), event, msg)
+        if msg.mtype in (MesifMsg.PutE, MesifMsg.PutM):
+            entry = self.cache.lookup(addr, touch=False)
+            if (
+                state is FL2State.X
+                and entry.meta["owner"] == msg.sender
+            ):
+                event = FL2Event.PutM if msg.mtype is MesifMsg.PutM else FL2Event.PutE
+            else:
+                event = FL2Event.PutStale
+            return self.fire(state, event, msg)
+        raise ProtocolError(self, state, msg.mtype, msg, note="bad request type")
 
     # -- transition table ------------------------------------------------------------------
 

@@ -191,14 +191,31 @@ class Component:
         self.wakeup()
         # If messages remain that arrive in the future, wake again then.
         # Visible-but-unconsumed (RETRYing) messages must not mask them.
+        # Fully-drained ports (the common case after a wakeup) are skipped
+        # without paying the bisect in next_arrival_after.
         now = self.sim.tick
         earliest = None
         for buf in self._port_buffers:
+            if not buf._entries:
+                continue
             tick = buf.next_arrival_after(now)
             if tick is not None and (earliest is None or tick < earliest):
                 earliest = tick
         if earliest is not None:
             self.request_wakeup(earliest)
+
+    def note_busy(self, ticks):
+        """Account ``ticks`` of occupied processing time ending a wakeup.
+
+        Feeds both the ``busy_ticks`` counter and, when a telemetry hub is
+        attached, the real occupancy tracks in the Perfetto export — the
+        exported per-component totals are asserted equal to this counter by
+        ``tests/test_occupancy.py``.
+        """
+        self.stats.inc("busy_ticks", ticks)
+        obs = self.sim.obs
+        if obs is not None:
+            obs.record_busy(self.sim.tick, self.name, ticks)
 
     def next_pending_tick(self):
         """Earliest arrival tick over all input ports, or None."""

@@ -79,6 +79,13 @@ class Network:
         # one identity check skips the whole counter block.
         self._counters = self.stats.counters
         self._mtype_keys = {}
+        # (dest, port) -> (component, buffer): validated once, then every
+        # later send is a single dict probe instead of two lookups plus a
+        # port-membership check. Invalidated by detach().
+        self._routes = {}
+        # FixedLatency is the overwhelmingly common model; resolve it to a
+        # constant so the per-send sample() call disappears.
+        self._fixed_latency = latency.latency if isinstance(latency, FixedLatency) else None
         sim.register_network(self)
 
     def attach(self, component):
@@ -98,6 +105,7 @@ class Network:
         if name not in self._endpoints:
             raise KeyError(f"{self.name}: no endpoint {name!r} to detach")
         del self._endpoints[name]
+        self._routes.clear()
         self._endpoint_delay.pop(name, None)
         for lane in [l for l in self._last_arrival if name in l]:
             del self._last_arrival[lane]
@@ -124,15 +132,22 @@ class Network:
         Raises KeyError for unknown destinations — a real hardware message
         to a nonexistent agent is a design error, never silently dropped.
         """
-        dest = self._endpoints.get(msg.dest)
-        if dest is None:
-            raise KeyError(f"{self.name}: unknown destination {msg.dest!r} for {msg}")
-        if port not in dest.in_ports:
-            raise KeyError(f"{self.name}: {msg.dest!r} has no port {port!r}")
+        route = self._routes.get((msg.dest, port))
+        if route is None:
+            dest = self._endpoints.get(msg.dest)
+            if dest is None:
+                raise KeyError(f"{self.name}: unknown destination {msg.dest!r} for {msg}")
+            buf = dest.in_ports.get(port)
+            if buf is None:
+                raise KeyError(f"{self.name}: {msg.dest!r} has no port {port!r}")
+            route = self._routes[(msg.dest, port)] = (dest, buf)
+        dest, buf = route
         sim = self.sim
         now = sim.tick
         msg.send_tick = now
-        latency = self.latency.sample(sim.rng)
+        latency = self._fixed_latency
+        if latency is None:
+            latency = self.latency.sample(sim.rng)
         delays = self._endpoint_delay
         if delays:
             latency += delays.get(msg.sender, 0) + delays.get(msg.dest, 0)
@@ -173,14 +188,14 @@ class Network:
                     self.stats.inc("fault.duplicated")
                     if obs is not None:
                         obs.record_fault(now, self.name, "duplicate", msg)
-                    arrival = self._deliver_one(dest, port, msg, arrival)
+                    arrival = self._deliver_one(dest, buf, msg, arrival)
                     # Link-layer replay: same uid, own payload copy,
                     # trailing the original by at least one tick.
-                    self._deliver_one(dest, port, msg.clone(), arrival + 1, note="dup")
+                    self._deliver_one(dest, buf, msg.clone(), arrival + 1, note="dup")
                     return arrival
-        return self._deliver_one(dest, port, msg, arrival)
+        return self._deliver_one(dest, buf, msg, arrival)
 
-    def _deliver_one(self, dest, port, msg, arrival, note=""):
+    def _deliver_one(self, dest, buf, msg, arrival, note=""):
         if self.ordered:
             # One serial lane per (sender, dest) pair across ALL ports:
             # the paper's ordered accel link must keep a Put ordered ahead
@@ -206,7 +221,9 @@ class Network:
         sim = self.sim
         if sim.trace is not None:
             sim.record_trace(self.name, msg, note=note)
-        dest.deliver(port, arrival, msg)
+        # inlined Component.deliver: the buffer came from the route cache
+        buf.enqueue(arrival, msg)
+        dest.request_wakeup(arrival)
         return arrival
 
     def broadcast(self, msg_factory, dests, port, delay=0):

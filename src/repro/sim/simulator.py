@@ -163,6 +163,22 @@ class Simulator:
             check_interval = max(1, self.deadlock_threshold // 4)
             next_check = self.tick + check_interval
         pop = self.events.pop
+        if max_ticks is None and max_events is None and next_check is None:
+            # Unlimited drain with no watchdog: the per-event limit checks
+            # can never trigger, so run the stripped loop (the heap already
+            # guarantees monotonic ticks — pop order is its invariant).
+            try:
+                while True:
+                    event = pop()
+                    if event is None:
+                        if final_check:
+                            self._check_deadlock(final=True)
+                        return "idle"
+                    self.tick = event.tick
+                    event.callback(*event.args)
+                    fired += 1
+            finally:
+                self._events_fired += fired
         try:
             while True:
                 event = pop()

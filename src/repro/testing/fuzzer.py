@@ -17,6 +17,7 @@ the host's stability.
 
 from repro.host.config import AccelOrg, SystemConfig
 from repro.host.system import build_system
+from repro.obs import Telemetry
 from repro.sim.simulator import DeadlockError
 from repro.testing.random_tester import RandomTester
 from repro.xg.permissions import PagePermission
@@ -70,6 +71,7 @@ def run_fuzz_campaign(
     rate_limit=None,
     share_pool=False,
     host_bandwidth=None,
+    telemetry=False,
 ):
     """Run one campaign; returns (:class:`FuzzResult`, built system).
 
@@ -77,6 +79,10 @@ def run_fuzz_campaign(
     CPU traffic uses its own address pool; with ``protect_cpu_pages`` the
     adversary pool overlaps it but the overlapping pages carry no
     permissions, so CPU data-value checking remains sound (G0).
+
+    ``telemetry=True`` attaches a :class:`~repro.obs.Telemetry` hub to the
+    simulator (finalized, left on ``system.sim.obs``) — the golden-run
+    equivalence suite uses it to digest transition sequences.
     """
     cpu_pool = [0x100000 + 64 * i for i in range(8)]
     adversary_pool = [0x200000 + 64 * i for i in range(8)]
@@ -110,6 +116,7 @@ def run_fuzz_campaign(
         tags={"adversary": (adversary, kwargs)},
     )
     system = build_system(config)
+    obs = Telemetry(system.sim) if telemetry else None
     # The adversary may do anything on its own pages, nothing elsewhere.
     system.permissions.default = PagePermission.NONE
     for addr in adversary_pool:
@@ -143,6 +150,8 @@ def run_fuzz_campaign(
     except Exception as exc:  # noqa: BLE001 - any other escape is a host crash
         result.host_crashed = True
         result.crash_detail = f"{type(exc).__name__}: {exc}"
+    if obs is not None:
+        obs.finalize()
     result.cpu_loads_checked = tester.loads_checked
     result.cpu_stores_committed = tester.stores_committed
     result.adversary_messages = adversary_component.stats.get("adversary_msgs")

@@ -1,0 +1,263 @@
+"""Golden-run equivalence harness for the compiled dispatch fast path.
+
+The compiled transition dispatch (:mod:`repro.coherence.controller`)
+rewrites the semantics-critical inner loop of every protocol controller,
+so its proof obligation is behavioral *identity*, not plausibility. This
+module digests seeded runs into three sha256 fingerprints:
+
+* **transitions** — the full per-controller (tick, component, type,
+  state, event) sequence recorded by :class:`~repro.obs.Telemetry`,
+  i.e. every step every state machine took, in order;
+* **memory** — the final main-memory image (sorted address → block
+  bytes);
+* **stats** — the canonical-JSON per-component stats report.
+
+Two runs with equal digest dicts took the same steps, landed the same
+bytes, and counted the same events. :func:`compare_modes` runs one
+scenario twice — once under ``DISPATCH_MODE="compiled"``, once under
+``"legacy"`` (the pre-refactor reference path, kept verbatim) — and the
+equivalence suite asserts the digests match across all hosts ×
+accelerator organizations. Committed digests in ``tests/golden/``
+additionally pin the sequences against *future* perturbation; refresh
+them deliberately with ``python -m repro golden --update``.
+"""
+
+import hashlib
+import json
+
+from repro.coherence.controller import dispatch_mode
+from repro.host.config import AccelOrg, HostProtocol, SystemConfig
+from repro.host.system import build_system
+from repro.obs import Telemetry
+from repro.testing.random_tester import RandomTester
+from repro.xg.interface import XGVariant
+
+#: Scenario names accepted by :func:`golden_run`.
+SCENARIOS = ("stress", "fuzz", "chaos")
+
+#: The representative (host, org) configs whose digests are committed in
+#: ``tests/golden/digests.json`` (one per host protocol, two orgs).
+PINNED_CONFIGS = (
+    ("stress", HostProtocol.MESI, AccelOrg.XG),
+    ("stress", HostProtocol.HAMMER, AccelOrg.XG),
+    ("stress", HostProtocol.MESIF, AccelOrg.HOST_SIDE),
+)
+
+
+def _digest_lines(lines):
+    sha = hashlib.sha256()
+    for line in lines:
+        sha.update(line.encode())
+        sha.update(b"\n")
+    return sha.hexdigest()
+
+
+def _token(value):
+    """Version-proof rendering: enum members digest by name, not str()."""
+    return getattr(value, "name", None) or str(value)
+
+
+def transition_digest(obs):
+    """sha256 over the ordered transition sequence of a recording."""
+    transitions = obs.transitions or ()
+    return _digest_lines(
+        f"{tick}|{component}|{ctype}|{_token(state)}|{_token(event)}"
+        for tick, component, ctype, state, event in transitions
+    )
+
+
+def memory_digest(memory):
+    """sha256 over the final memory image (sorted address -> bytes)."""
+    blocks = memory._blocks
+    return _digest_lines(
+        f"{addr:#x}|{blocks[addr].to_bytes().hex()}" for addr in sorted(blocks)
+    )
+
+
+def stats_digest(sim):
+    """sha256 of the canonical-JSON per-component stats report."""
+    report = json.dumps(sim.stats_report(), sort_keys=True)
+    return hashlib.sha256(report.encode()).hexdigest()
+
+
+def digest_system(system, obs):
+    """The full digest dict for one finished run."""
+    return {
+        "transitions": transition_digest(obs),
+        "transitions_count": len(obs.transitions or ()),
+        "memory": memory_digest(system.memory),
+        "stats": stats_digest(system.sim),
+        "final_tick": system.sim.tick,
+        "events_fired": system.sim._events_fired,
+    }
+
+
+# -- scenarios ---------------------------------------------------------------
+
+
+def _run_stress(host, org, xg_variant, seed, ops):
+    """Seeded random CPU+accelerator traffic over the full protocol stack.
+
+    Works for every (host, org) pair — the same small geometry the
+    ``xg_stress`` benchmark uses, with telemetry recording on.
+    """
+    config = SystemConfig(
+        host=host,
+        org=org,
+        xg_variant=xg_variant,
+        n_cpus=2,
+        n_accel_cores=2,
+        cpu_l1_sets=2,
+        cpu_l1_assoc=1,
+        shared_l2_sets=4,
+        shared_l2_assoc=2,
+        accel_l1_sets=2,
+        accel_l1_assoc=1,
+        randomize_latencies=True,
+        seed=seed,
+        deadlock_threshold=400_000,
+        accel_timeout=150_000,
+        mem_latency=30,
+        trace_depth=0,
+    )
+    system = build_system(config)
+    obs = Telemetry(system.sim)
+    blocks = [0x1000 + 64 * i for i in range(6)]
+    tester = RandomTester(
+        system.sim, system.sequencers, blocks,
+        ops_target=ops, store_fraction=0.45,
+    )
+    tester.run()
+    obs.finalize()
+    return system, obs
+
+
+def _run_fuzz(host, xg_variant, seed, ops):
+    """An adversarial accelerator behind XG (org is implicitly XG)."""
+    from repro.testing.fuzzer import run_fuzz_campaign
+
+    result, system = run_fuzz_campaign(
+        host, xg_variant, adversary="fuzz", seed=seed,
+        duration=30_000, cpu_ops=ops, telemetry=True,
+    )
+    if not result.host_safe:
+        raise AssertionError(f"fuzz golden run lost host safety: {result.crash_detail}")
+    return system, system.sim.obs
+
+
+def _run_chaos(host, xg_variant, seed, ops):
+    """Link faults on the crossing plus a flooding accelerator."""
+    from repro.testing.chaos import run_chaos_campaign
+
+    result, system = run_chaos_campaign(
+        host, xg_variant,
+        faults={"drop": 0.1, "duplicate": 0.1},
+        seed=seed, duration=20_000, cpu_ops=ops, telemetry=True,
+    )
+    if not result.host_safe:
+        raise AssertionError(f"chaos golden run lost host safety: {result.crash_detail}")
+    return system, system.sim.obs
+
+
+def golden_run(scenario, host, org=AccelOrg.XG,
+               xg_variant=XGVariant.FULL_STATE, seed=0, ops=400):
+    """One seeded scenario run under the *current* dispatch mode.
+
+    Returns the digest dict (see :func:`digest_system`). ``fuzz`` and
+    ``chaos`` scenarios imply ``org=XG`` — they replace the accelerator
+    with an adversary behind Crossing Guard.
+    """
+    if scenario == "stress":
+        system, obs = _run_stress(host, org, xg_variant, seed, ops)
+    elif scenario == "fuzz":
+        system, obs = _run_fuzz(host, xg_variant, seed, ops)
+    elif scenario == "chaos":
+        system, obs = _run_chaos(host, xg_variant, seed, ops)
+    else:
+        raise ValueError(f"unknown golden scenario {scenario!r} (try {SCENARIOS})")
+    return digest_system(system, obs)
+
+
+# -- compiled-vs-legacy equivalence -------------------------------------------
+
+
+def compare_modes(scenario, host, org=AccelOrg.XG,
+                  xg_variant=XGVariant.FULL_STATE, seed=0, ops=400):
+    """Run one scenario under both dispatch modes; return their digests.
+
+    The pair being equal is the refactor's headline claim: the compiled
+    fast path is step-for-step identical to the legacy reference path.
+    """
+    with dispatch_mode("compiled"):
+        compiled = golden_run(scenario, host, org, xg_variant, seed, ops)
+    with dispatch_mode("legacy"):
+        legacy = golden_run(scenario, host, org, xg_variant, seed, ops)
+    return compiled, legacy
+
+
+def equivalence_matrix(scenario="stress", seed=0, ops=400):
+    """Compiled-vs-legacy comparison across all hosts x accelerator orgs.
+
+    Returns ``{label: {"compiled": .., "legacy": .., "identical": bool}}``.
+    For fuzz/chaos scenarios the org axis collapses to XG (both variants
+    instead).
+    """
+    rows = {}
+    if scenario == "stress":
+        cases = [
+            (host, org, XGVariant.FULL_STATE)
+            for host in HostProtocol
+            for org in AccelOrg
+        ]
+    else:
+        cases = [
+            (host, AccelOrg.XG, variant)
+            for host in HostProtocol
+            for variant in XGVariant
+        ]
+    for host, org, variant in cases:
+        label = f"{host.name.lower()}/{org.name.lower()}/{variant.name.lower()}"
+        compiled, legacy = compare_modes(
+            scenario, host, org, xg_variant=variant, seed=seed, ops=ops
+        )
+        rows[label] = {
+            "compiled": compiled,
+            "legacy": legacy,
+            "identical": compiled == legacy,
+        }
+    return rows
+
+
+# -- committed pinned digests -------------------------------------------------
+
+
+def pinned_digests(seed=0, ops=400):
+    """Digest dict for the representative configs committed in CI."""
+    pinned = {}
+    for scenario, host, org in PINNED_CONFIGS:
+        label = f"{scenario}/{host.name.lower()}/{org.name.lower()}"
+        pinned[label] = golden_run(scenario, host, org, seed=seed, ops=ops)
+    return {
+        "note": (
+            "Seed-run golden digests. A mismatch means a change perturbed "
+            "controller transition sequences, the final memory image, or "
+            "stats; refresh deliberately with `python -m repro golden "
+            "--update` and explain the behavior change in the PR."
+        ),
+        "seed": seed,
+        "ops": ops,
+        "digests": pinned,
+    }
+
+
+def write_pinned(path, seed=0, ops=400):
+    payload = pinned_digests(seed=seed, ops=ops)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return payload
+
+
+def load_pinned(path):
+    with open(path) as fh:
+        return json.load(fh)

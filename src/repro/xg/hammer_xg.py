@@ -26,6 +26,14 @@ class HammerCrossingGuard(CrossingGuardBase):
         self.dir_name = dir_name
         self.n_peers = n_peers
         super().__init__(sim, name, host_net, accel_net, **kw)
+        # compiled response-accumulator dispatch: one bound handler per
+        # message type, mirroring the controllers' flattened tables
+        self._collect_dispatch = {
+            HammerMsg.PeerDataExcl: self._collect_peer_data_excl,
+            HammerMsg.PeerData: self._collect_peer_data,
+            HammerMsg.MemData: self._collect_mem_data,
+            HammerMsg.PeerAck: self._collect_peer_ack,
+        }
 
     def _build_transitions(self):
         return
@@ -48,27 +56,35 @@ class HammerCrossingGuard(CrossingGuardBase):
         if tbe is None or tbe.meta.get("kind") != "accel_get":
             raise ProtocolError(self, "xg", msg.mtype, msg, note="response with no get open")
         tbe.responses_received += 1
-        if msg.mtype is HammerMsg.PeerDataExcl:
-            tbe.meta["excl_transfer"] = True
-            tbe.data = msg.data.copy()
-            tbe.dirty = False
-            tbe.data_received = True
-        elif msg.mtype is HammerMsg.PeerData:
-            tbe.data = msg.data.copy()
-            tbe.dirty = msg.dirty
-            tbe.data_received = True
-            tbe.meta["peer_data"] = True
-        elif msg.mtype is HammerMsg.MemData:
-            if not tbe.data_received:
-                tbe.data = msg.data.copy()
-                tbe.dirty = False
-        elif msg.mtype is not HammerMsg.PeerAck:
+        handler = self._collect_dispatch.get(msg.mtype)
+        if handler is None:
             raise ProtocolError(self, "xg", msg.mtype, msg, note="bad host response")
+        handler(msg, tbe)
         if msg.shared_hint:
             tbe.meta["shared"] = True
         if tbe.responses_received >= self.n_peers + 1:
             self._complete_get(addr, tbe)
         return CONSUMED
+
+    def _collect_peer_data_excl(self, msg, tbe):
+        tbe.meta["excl_transfer"] = True
+        tbe.data = msg.data.copy()
+        tbe.dirty = False
+        tbe.data_received = True
+
+    def _collect_peer_data(self, msg, tbe):
+        tbe.data = msg.data.copy()
+        tbe.dirty = msg.dirty
+        tbe.data_received = True
+        tbe.meta["peer_data"] = True
+
+    def _collect_mem_data(self, msg, tbe):
+        if not tbe.data_received:
+            tbe.data = msg.data.copy()
+            tbe.dirty = False
+
+    def _collect_peer_ack(self, msg, tbe):
+        pass
 
     def _complete_get(self, addr, tbe):
         accel_req = tbe.meta["accel_req"]

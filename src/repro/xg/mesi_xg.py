@@ -32,6 +32,14 @@ class MesiCrossingGuard(CrossingGuardBase):
     def __init__(self, sim, name, host_net, accel_net, l2_name, **kw):
         self.l2_name = l2_name
         super().__init__(sim, name, host_net, accel_net, **kw)
+        # compiled host-response dispatch: one bound handler per message
+        # type, mirroring the controllers' flattened transition tables
+        self._host_response_dispatch = {
+            MesiMsg.DataS: self._resp_data_s,
+            MesiMsg.DataE: self._resp_data_e,
+            MesiMsg.DataM: self._resp_data_m,
+            MesiMsg.InvAck: self._resp_inv_ack,
+        }
 
     def _build_transitions(self):
         # XG is not table-driven; its flows are explicit methods. Keep an
@@ -55,26 +63,32 @@ class MesiCrossingGuard(CrossingGuardBase):
     def _host_response(self, msg, addr, tbe):
         if tbe is None or tbe.meta.get("kind") != "accel_get":
             raise ProtocolError(self, "xg", msg.mtype, msg, note="response with no get open")
-        if msg.mtype is MesiMsg.DataS:
-            self._to_l2(MesiMsg.UnblockS, addr, port="response")
-            self.finish_accel_get(addr, "S", msg.data, dirty=False)
-        elif msg.mtype is MesiMsg.DataE:
-            self._to_l2(MesiMsg.UnblockX, addr, port="response")
-            self.finish_accel_get(addr, "E", msg.data, dirty=False)
-        elif msg.mtype is MesiMsg.DataM:
-            tbe.data = msg.data.copy()
-            tbe.dirty = msg.dirty
-            tbe.acks_needed = msg.ack_count
-            tbe.data_received = True
-            if tbe.acks_received >= tbe.acks_needed:
-                self._complete_getm(addr, tbe)
-        elif msg.mtype is MesiMsg.InvAck:
-            tbe.acks_received += 1
-            if tbe.data_received and tbe.acks_received >= tbe.acks_needed:
-                self._complete_getm(addr, tbe)
-        else:
+        handler = self._host_response_dispatch.get(msg.mtype)
+        if handler is None:
             raise ProtocolError(self, "xg", msg.mtype, msg, note="bad host response")
+        handler(msg, addr, tbe)
         return CONSUMED
+
+    def _resp_data_s(self, msg, addr, tbe):
+        self._to_l2(MesiMsg.UnblockS, addr, port="response")
+        self.finish_accel_get(addr, "S", msg.data, dirty=False)
+
+    def _resp_data_e(self, msg, addr, tbe):
+        self._to_l2(MesiMsg.UnblockX, addr, port="response")
+        self.finish_accel_get(addr, "E", msg.data, dirty=False)
+
+    def _resp_data_m(self, msg, addr, tbe):
+        tbe.data = msg.data.copy()
+        tbe.dirty = msg.dirty
+        tbe.acks_needed = msg.ack_count
+        tbe.data_received = True
+        if tbe.acks_received >= tbe.acks_needed:
+            self._complete_getm(addr, tbe)
+
+    def _resp_inv_ack(self, msg, addr, tbe):
+        tbe.acks_received += 1
+        if tbe.data_received and tbe.acks_received >= tbe.acks_needed:
+            self._complete_getm(addr, tbe)
 
     def _complete_getm(self, addr, tbe):
         self._to_l2(MesiMsg.UnblockX, addr, port="response")

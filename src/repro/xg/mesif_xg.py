@@ -39,6 +39,15 @@ class MesifCrossingGuard(CrossingGuardBase):
     def __init__(self, sim, name, host_net, accel_net, l2_name, **kw):
         self.l2_name = l2_name
         super().__init__(sim, name, host_net, accel_net, **kw)
+        # compiled host-response dispatch: one bound handler per message
+        # type, mirroring the controllers' flattened transition tables
+        self._host_response_dispatch = {
+            MesifMsg.DataS: self._resp_data_s,
+            MesifMsg.DataF: self._resp_data_f,
+            MesifMsg.DataE: self._resp_data_e,
+            MesifMsg.DataM: self._resp_data_m,
+            MesifMsg.InvAck: self._resp_inv_ack,
+        }
 
     def _build_transitions(self):
         return
@@ -58,32 +67,39 @@ class MesifCrossingGuard(CrossingGuardBase):
     def _host_response(self, msg, addr, tbe):
         if tbe is None or tbe.meta.get("kind") != "accel_get":
             raise ProtocolError(self, "xg", msg.mtype, msg, note="response with no get open")
-        if msg.mtype is MesifMsg.DataS:
-            self._to_l2(MesifMsg.UnblockS, addr, port="response")
-            self.finish_accel_get(addr, "S", msg.data, dirty=False)
-        elif msg.mtype is MesifMsg.DataF:
-            # Take the designation toward the host, grant only S inward;
-            # a later Fwd_GetS_F will be FNacked.
-            self._to_l2(MesifMsg.UnblockF, addr, port="response")
-            self.finish_accel_get(addr, "S", msg.data, dirty=False)
-            self.stats.inc("f_grants_taken_as_s")
-        elif msg.mtype is MesifMsg.DataE:
-            self._to_l2(MesifMsg.UnblockX, addr, port="response")
-            self.finish_accel_get(addr, "E", msg.data, dirty=False)
-        elif msg.mtype is MesifMsg.DataM:
-            tbe.data = msg.data.copy()
-            tbe.dirty = msg.dirty
-            tbe.acks_needed = msg.ack_count
-            tbe.data_received = True
-            if tbe.acks_received >= tbe.acks_needed:
-                self._complete_getm(addr, tbe)
-        elif msg.mtype is MesifMsg.InvAck:
-            tbe.acks_received += 1
-            if tbe.data_received and tbe.acks_received >= tbe.acks_needed:
-                self._complete_getm(addr, tbe)
-        else:
+        handler = self._host_response_dispatch.get(msg.mtype)
+        if handler is None:
             raise ProtocolError(self, "xg", msg.mtype, msg, note="bad host response")
+        handler(msg, addr, tbe)
         return CONSUMED
+
+    def _resp_data_s(self, msg, addr, tbe):
+        self._to_l2(MesifMsg.UnblockS, addr, port="response")
+        self.finish_accel_get(addr, "S", msg.data, dirty=False)
+
+    def _resp_data_f(self, msg, addr, tbe):
+        # Take the designation toward the host, grant only S inward;
+        # a later Fwd_GetS_F will be FNacked.
+        self._to_l2(MesifMsg.UnblockF, addr, port="response")
+        self.finish_accel_get(addr, "S", msg.data, dirty=False)
+        self.stats.inc("f_grants_taken_as_s")
+
+    def _resp_data_e(self, msg, addr, tbe):
+        self._to_l2(MesifMsg.UnblockX, addr, port="response")
+        self.finish_accel_get(addr, "E", msg.data, dirty=False)
+
+    def _resp_data_m(self, msg, addr, tbe):
+        tbe.data = msg.data.copy()
+        tbe.dirty = msg.dirty
+        tbe.acks_needed = msg.ack_count
+        tbe.data_received = True
+        if tbe.acks_received >= tbe.acks_needed:
+            self._complete_getm(addr, tbe)
+
+    def _resp_inv_ack(self, msg, addr, tbe):
+        tbe.acks_received += 1
+        if tbe.data_received and tbe.acks_received >= tbe.acks_needed:
+            self._complete_getm(addr, tbe)
 
     def _complete_getm(self, addr, tbe):
         self._to_l2(MesifMsg.UnblockX, addr, port="response")

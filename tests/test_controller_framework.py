@@ -77,7 +77,10 @@ def test_fire_records_coverage():
 def test_undefined_transition_raises_protocol_error():
     sim = Simulator()
     ctrl = _Toy(sim, "toy")
+    # mutating the table at runtime requires a recompile, like a SLICC
+    # regeneration — the compiled fast path serves the flattened copy
     del ctrl.transitions[(St.A, Ev.Go)]
+    ctrl.recompile_dispatch()
     _send(ctrl, Ev.Go, 0x40)
     with pytest.raises(ProtocolError):
         sim.run()
@@ -97,6 +100,65 @@ def test_stall_and_wake_preserves_order():
     sim.run()
     assert ctrl.processed == [0x80, 0x40, 0x40]
     assert ctrl.stalled_count() == 0
+
+
+def test_stall_index_wakes_only_the_freed_address():
+    """Per-address stall buckets: waking one address releases exactly its
+    messages, in arrival order, and the O(1) count tracks every step."""
+    sim = Simulator()
+    ctrl = _Toy(sim, "toy")
+    _send(ctrl, Ev.Block, 0x40, tick=1)
+    _send(ctrl, Ev.Block, 0x80, tick=2)
+    _send(ctrl, Ev.Go, 0x40, tick=3)
+    _send(ctrl, Ev.Go, 0x80, tick=4)
+    _send(ctrl, Ev.Go, 0x40, tick=5)
+    _send(ctrl, Ev.Go, 0x80, tick=6)
+    sim.run(final_check=False)
+    assert ctrl.processed == []
+    assert ctrl.stalled_count() == 4
+    _send(ctrl, Ev.Free, 0x80, tick=sim.tick + 1)
+    sim.run(final_check=False)
+    assert ctrl.processed == [0x80, 0x80]
+    assert ctrl.stalled_count() == 2
+    _send(ctrl, Ev.Free, 0x40, tick=sim.tick + 1)
+    sim.run()
+    assert ctrl.processed == [0x80, 0x80, 0x40, 0x40]
+    assert ctrl.stalled_count() == 0
+    assert ctrl.stats.get("stalls") == 4
+
+
+def test_diagnose_reports_stalled_messages():
+    from repro.sim.simulator import DeadlockError
+
+    sim = Simulator()
+    ctrl = _Toy(sim, "toy")
+    _send(ctrl, Ev.Block, 0x40)
+    _send(ctrl, Ev.Go, 0x40, tick=2)
+    _send(ctrl, Ev.Go, 0x40, tick=3)
+    with pytest.raises(DeadlockError) as info:
+        sim.run()
+    report = info.value.diagnose()
+    assert "stalled_msgs=2" in report
+
+
+def test_dispatch_mode_legacy_matches_compiled():
+    from repro.coherence.controller import dispatch_mode
+
+    results = {}
+    for mode in ("compiled", "legacy"):
+        with dispatch_mode(mode):
+            sim = Simulator()
+            ctrl = _Toy(sim, "toy")
+            # compiled mode installs the per-instance closure; legacy
+            # keeps the class method
+            assert ("fire" in ctrl.__dict__) == (mode == "compiled")
+            _send(ctrl, Ev.Block, 0x40, tick=1)
+            _send(ctrl, Ev.Go, 0x40, tick=2)
+            _send(ctrl, Ev.Go, 0x80, tick=3)
+            _send(ctrl, Ev.Free, 0x40, tick=4)
+            sim.run()
+        results[mode] = (ctrl.processed, dict(ctrl.coverage), ctrl.stats.as_dict())
+    assert results["compiled"] == results["legacy"]
 
 
 def test_stalled_forever_is_a_deadlock():

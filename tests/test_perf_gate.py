@@ -1,0 +1,94 @@
+"""Unit tests for the bench regression gate (no timing involved)."""
+
+import json
+import os
+
+import pytest
+
+from repro.eval.perf_gate import (
+    DEFAULT_TOLERANCE,
+    compare_reports,
+    format_comparison,
+    load_report,
+    write_comparison,
+)
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "benchmarks", "baseline_engine.json"
+)
+
+
+def _report(eps=100_000.0, events=5000, tick=1000, scale=1.0):
+    return {
+        "events_per_sec": eps * scale,
+        "workloads": {
+            "ping_pong": {
+                "events_per_sec": eps * scale,
+                "events": events,
+                "final_tick": tick,
+            },
+        },
+    }
+
+
+def test_equal_reports_pass():
+    comparison = compare_reports(_report(), _report())
+    assert comparison["passed"]
+    assert not comparison["failures"]
+    assert all(row["ok"] for row in comparison["rows"])
+
+
+def test_small_slowdown_within_band_passes():
+    comparison = compare_reports(_report(scale=0.80), _report())
+    assert comparison["passed"]  # 20% < default 30% band
+
+
+def test_regression_beyond_band_fails():
+    comparison = compare_reports(_report(scale=0.60), _report())
+    assert not comparison["passed"]
+    assert any("events_per_sec" in f for f in comparison["failures"])
+    assert "REGRESSION" in format_comparison(comparison)
+
+
+def test_speedup_never_fails():
+    comparison = compare_reports(_report(scale=3.0), _report())
+    assert comparison["passed"]
+
+
+def test_deterministic_drift_fails_regardless_of_speed():
+    current = _report(scale=2.0)
+    current["workloads"]["ping_pong"]["events"] += 1
+    comparison = compare_reports(current, _report())
+    assert not comparison["passed"]
+    assert comparison["exact_mismatches"][0]["workload"] == "ping_pong"
+    assert "DETERMINISTIC DRIFT" in format_comparison(comparison)
+
+
+def test_missing_workload_fails():
+    current = _report()
+    del current["workloads"]["ping_pong"]
+    comparison = compare_reports(current, _report())
+    assert not comparison["passed"]
+
+
+def test_bad_tolerance_rejected():
+    with pytest.raises(ValueError):
+        compare_reports(_report(), _report(), tolerance=1.5)
+
+
+def test_comparison_roundtrip(tmp_path):
+    comparison = compare_reports(_report(), _report())
+    out = tmp_path / "gate.json"
+    write_comparison(comparison, out)
+    assert json.loads(out.read_text())["passed"] is True
+
+
+def test_committed_baseline_is_gateable():
+    """The baseline CI gates against must load and self-compare clean."""
+    baseline = load_report(BASELINE_PATH)
+    assert baseline["events_per_sec"] > 0
+    assert set(baseline["workloads"]) == {
+        "ping_pong", "unordered_storm", "timer_churn"
+    }
+    comparison = compare_reports(baseline, baseline, DEFAULT_TOLERANCE)
+    assert comparison["passed"]
