@@ -101,7 +101,15 @@ class AccelL1(CacheControllerBase):
         # Monomorphic fast path: grants/probes from XG dominate, and
         # "fromxg" is also the higher-priority port — check it first.
         if port == "fromxg":
-            return self.fire(self.block_state(msg.addr), _XG_EVENTS[msg.mtype], msg)
+            try:
+                event = _XG_EVENTS[msg.mtype]
+            except KeyError:
+                # XG-originated administrative traffic (e.g. a Nack to a
+                # quarantined sibling) is outside Table 1; a real
+                # accelerator ignores what it does not implement.
+                self.stats.inc("unexpected_from_xg")
+                return CONSUMED
+            return self.fire(self.block_state(msg.addr), event, msg)
         return self._handle_mandatory(msg)
 
     def _handle_mandatory(self, msg):

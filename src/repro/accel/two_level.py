@@ -162,11 +162,27 @@ class AccelL2Shared(CoherenceController):
         # Monomorphic fast path: grants/probes from XG dominate, and
         # "fromxg" is also the highest-priority port — check it first.
         if port == "fromxg":
-            return self.fire(state, _XG_MSGS[msg.mtype], msg)
+            try:
+                event = _XG_MSGS[msg.mtype]
+            except KeyError:
+                # Administrative traffic outside Table 1 (e.g. a Nack to a
+                # quarantined endpoint): ignore rather than wedge the L2.
+                self.stats.inc("unexpected_from_xg")
+                return CONSUMED
+            return self.fire(state, event, msg)
         if port == "accel_response":
-            return self.fire(state, _L1_RESP[msg.mtype], msg)
+            try:
+                event = _L1_RESP[msg.mtype]
+            except KeyError:
+                self.stats.inc("unexpected_from_l1")
+                return CONSUMED
+            return self.fire(state, event, msg)
         if port == "accel_request":
-            event = _L1_REQ[msg.mtype]
+            try:
+                event = _L1_REQ[msg.mtype]
+            except KeyError:
+                self.stats.inc("unexpected_from_l1")
+                return CONSUMED
             if state in (AL2State.B_FETCH, AL2State.B_LOCAL, AL2State.B_PUT, AL2State.B_EVICT):
                 tbe = self.tbes.lookup(addr)
                 if (

@@ -6,6 +6,8 @@ Commands:
 * ``stress``      — Section 4.1 random stress over the 12 configurations;
 * ``fuzz``        — byzantine-accelerator safety campaign;
 * ``chaos``       — fault-injected interconnect campaign (drop/dup/delay/corrupt);
+* ``rogue``       — Byzantine-accelerator containment sweep (plans x hosts x
+  variants) with the online invariant watchdog armed;
 * ``trace``       — traced chaos run exported as Chrome/Perfetto JSON;
 * ``report``      — telemetry-on stress: coverage heatmap + span percentiles;
 * ``bench``       — engine events/sec microbenchmark + campaign wall-clock;
@@ -316,6 +318,75 @@ def _cmd_chaos(args):
         print()
         print(report["diagnosis"])
     return 0 if report["host_safe"] else 1
+
+
+def _cmd_rogue(args):
+    import json
+    import time
+
+    from repro.eval.campaign import resolve_workers
+    from repro.eval.report import format_rogue_matrix
+    from repro.host.config import HostProtocol
+    from repro.testing.rogue import run_rogue_matrix
+    from repro.xg.interface import XGVariant
+
+    plans = [p.strip() for p in args.plans.split(",") if p.strip()] or None
+    try:
+        hosts = tuple(
+            HostProtocol[h.strip().upper()]
+            for h in args.hosts.split(",") if h.strip()
+        )
+        variants = tuple(
+            XGVariant[v.strip().upper()]
+            for v in args.variants.split(",") if v.strip()
+        )
+    except KeyError as exc:
+        print(f"error: unknown host or variant {exc.args[0]!r}", file=sys.stderr)
+        return 2
+    workers = resolve_workers(args.workers)
+    start = time.perf_counter()
+    try:
+        rows = run_rogue_matrix(
+            plans=plans,
+            hosts=hosts,
+            variants=variants,
+            seeds=range(args.seeds),
+            duration=args.duration,
+            cpu_ops=args.cpu_ops,
+            invariant_interval=args.invariant_interval,
+            workers=workers,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - start
+    print(format_rogue_matrix(rows))
+    print(f"({workers} worker{'s' if workers != 1 else ''}, {elapsed:.1f}s)")
+    escaped = [r for r in rows if not r.get("contained")]
+    invariant = [r for r in rows if r.get("invariant_violated")]
+    starved = [
+        r for r in rows if r.get("contained") and not r.get("cpu_loads_checked")
+    ]
+    contained = len(rows) - len(escaped)
+    checks = sum(r.get("watchdog_checks", 0) for r in rows)
+    print(f"contained: {contained}/{len(rows)}; invariant violations: "
+          f"{len(invariant)}; watchdog checks: {checks}")
+    for row in escaped:
+        print(f"\nESCAPED: {row['plan']} on {row['host']}/{row['variant']} "
+              f"seed {row['seed']}: {row.get('crash_detail') or row.get('detail')}",
+              file=sys.stderr)
+        if row.get("diagnosis"):
+            print(row["diagnosis"], file=sys.stderr)
+        if row.get("invariant_detail"):
+            print(f"invariant: {row['invariant_detail']}", file=sys.stderr)
+    for row in starved:
+        print(f"\nSTARVED: {row['plan']} on {row['host']}/{row['variant']} "
+              f"seed {row['seed']}: no CPU load ever completed", file=sys.stderr)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump({"rows": rows}, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.out}")
+    return 1 if escaped or starved else 0
 
 
 def _cmd_trace(args):
@@ -635,6 +706,27 @@ def build_parser():
     chaos.add_argument("--show-errors", dest="show_errors", type=int, default=10,
                        help="OS error-log records to print")
     chaos.set_defaults(fn=_cmd_chaos)
+
+    rogue = sub.add_parser(
+        "rogue", help="Byzantine-accelerator containment sweep"
+    )
+    rogue.add_argument("--plans", default="",
+                       help="comma list of rogue plan names (default: all)")
+    rogue.add_argument("--hosts", default="mesi,hammer,mesif",
+                       help="comma list of host protocols")
+    rogue.add_argument("--variants", default="full_state,transactional",
+                       help="comma list of XG variants")
+    rogue.add_argument("--seeds", type=int, default=1)
+    rogue.add_argument("--duration", type=int, default=40_000)
+    rogue.add_argument("--cpu-ops", dest="cpu_ops", type=int, default=600)
+    rogue.add_argument("--invariant-interval", dest="invariant_interval",
+                       type=int, default=2000,
+                       help="watchdog sampling period in ticks (0 disables)")
+    rogue.add_argument("--workers", type=int, default=None,
+                       help="parallel campaign processes (default: cpu count)")
+    rogue.add_argument("-o", "--out", default=None, metavar="PATH",
+                       help="write the full result rows as JSON")
+    rogue.set_defaults(fn=_cmd_rogue)
 
     trace = sub.add_parser(
         "trace", help="traced chaos run exported as Chrome/Perfetto JSON"

@@ -62,6 +62,9 @@ class CampaignOutcome:
     error: str = ""
     traceback: str = ""
     diagnosis: str = ""
+    #: plain-data forensic record carried by the exception (an
+    #: InvariantError annotated by the watchdog), if any
+    forensics: object = None
 
     @property
     def deadlocked(self):
@@ -99,6 +102,9 @@ def _execute(indexed_job):
             error_type=type(exc).__name__,
             error=str(exc),
             traceback=traceback.format_exc(),
+            # the watchdog annotates InvariantError with a plain-data
+            # forensic record; it pickles, the simulator does not
+            forensics=getattr(exc, "forensics", None),
         )
 
 

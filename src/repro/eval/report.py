@@ -44,6 +44,49 @@ def format_error_log(log, limit=15):
                         title=title)
 
 
+#: Containment outcomes worst-first; a matrix cell shows the worst
+#: outcome across its seeds. Mirrors repro.testing.rogue (kept literal
+#: here so the formatter stays import-free).
+_CONTAINMENT_ORDER = ("escaped", "quarantined", "throttled", "timed_out", "absorbed")
+
+
+def format_rogue_matrix(rows):
+    """Pivot rogue campaign rows into a plan x host/variant containment matrix.
+
+    Each cell is the *worst* containment outcome any seed of that
+    (plan, host, variant) cell reached, ``escaped`` being worst — the
+    outcome a sweep must never show.
+    """
+
+    def severity(outcome):
+        try:
+            return _CONTAINMENT_ORDER.index(outcome)
+        except ValueError:
+            return 0  # unknown reads as worst
+
+    columns = []
+    plans = []
+    cells = {}
+    for row in rows:
+        column = f"{row['host'].lower()}/{row['variant'].lower()}"
+        if column not in columns:
+            columns.append(column)
+        plan = row["plan"]
+        if plan not in plans:
+            plans.append(plan)
+        outcome = row.get("containment") or "escaped"
+        key = (plan, column)
+        if key not in cells or severity(outcome) < severity(cells[key]):
+            cells[key] = outcome
+    table_rows = [
+        [plan] + [cells.get((plan, column), "-") for column in columns]
+        for plan in plans
+    ]
+    escaped = sum(1 for row in rows if (row.get("containment") or "escaped") == "escaped")
+    title = f"rogue containment matrix ({len(rows)} campaigns, {escaped} escaped)"
+    return format_table(["plan"] + columns, table_rows, title=title)
+
+
 def normalize_rows(rows, key, baseline_label, label_key="config"):
     """Add ``<key>_norm`` = value / baseline's value to each row dict."""
     baseline = None

@@ -63,10 +63,17 @@ class SystemConfig:
     # XG knobs
     accel_timeout: int = 50000
     probe_retries: int = 1  # Invalidate re-issues before the G2c surrogate
+    # quarantine ladder (cumulative violation counts; None skips a rung)
     disable_after: int = None  # OS policy: quarantine accel after N violations
+    warn_after: int = None  # advisory rung: telemetry mark only
+    throttle_after: int = None  # clamp the rate limiter to throttle_rate
+    throttle_rate: tuple = None  # punitive (rate, period) for the throttled rung
     suppress_puts: bool = False
     rate_limit: tuple = None  # (rate, period) or None
     permissions_default: str = "rw"  # "rw" | "read" | "none"
+
+    # online invariant watchdog sampling period in ticks; 0 disables
+    invariant_interval: int = 0
 
     # fault injection (repro.sim.faults.FaultPlan, consulted by every
     # network on every send; None = perfectly reliable interconnect)

@@ -9,6 +9,7 @@ table, rate limiter, and OS error log.
 
 from repro.accel.buggy import DeafAccel, FloodingAccel, FuzzingAccel, WrongResponderAccel
 from repro.accel.l1_single import AccelL1, AccelL1Mode
+from repro.accel.rogue import RogueAccel
 from repro.accel.streaming import StreamingAccelL1
 from repro.accel.two_level import AccelL2Shared
 from repro.host.config import AccelOrg, HostProtocol, SystemConfig
@@ -51,6 +52,8 @@ class System:
         #: per-accelerator (xg, [accel caches], accel_l2 or None)
         self.xg_groups = []
         self.directory = None  # hammer dir or mesi L2
+        #: online invariant watchdog (None unless config.invariant_interval)
+        self.watchdog = None
 
     # first-accelerator conveniences (the common single-accel case)
     @property
@@ -252,7 +255,11 @@ def build_system(config: SystemConfig) -> System:
             suffix = "" if accel_index == 0 else f".{accel_index}"
             xg_name = f"xg{suffix}"
             permissions = PermissionTable(default=default)
-            error_log = XGErrorLog(disable_after=config.disable_after)
+            error_log = XGErrorLog(
+                disable_after=config.disable_after,
+                warn_after=config.warn_after,
+                throttle_after=config.throttle_after,
+            )
             if config.rate_limit is not None:
                 rate, period = config.rate_limit
                 limiter = RateLimiter(rate=rate, period=period)
@@ -266,6 +273,7 @@ def build_system(config: SystemConfig) -> System:
                 accel_timeout=config.accel_timeout,
                 probe_retries=config.probe_retries,
                 suppress_puts=config.suppress_puts,
+                throttle_rate=config.throttle_rate,
                 block_size=config.block_size,
             )
             if config.host is HostProtocol.MESI:
@@ -300,6 +308,7 @@ def build_system(config: SystemConfig) -> System:
                     "deaf": DeafAccel,
                     "wrong": WrongResponderAccel,
                     "flood": FloodingAccel,
+                    "rogue": RogueAccel,
                 }[kind]
                 accel = cls(
                     sim, "adversary", accel_net, xg_name,
@@ -359,5 +368,15 @@ def build_system(config: SystemConfig) -> System:
                     group_caches.append(l1)
                     system.accel_seqs.append(seq)
                 system.xg_groups.append((xg, group_caches, al2))
+
+    if config.invariant_interval:
+        # Imported lazily: repro.testing.invariants imports the protocol
+        # state enums, which would cycle back through this module at
+        # import time.
+        from repro.testing.invariants import InvariantWatchdog
+
+        system.watchdog = sim.attach_monitor(
+            InvariantWatchdog(system, interval=config.invariant_interval)
+        )
 
     return system

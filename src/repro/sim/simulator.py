@@ -54,6 +54,20 @@ class DeadlockError(RuntimeError):
                 f"  {comp.name}: oldest_pending={oldest} queues={depths or '{}'} "
                 f"open_tbes={open_tbes} stalled_msgs={stalled}{mark}"
             )
+        extra = []
+        for comp in self.sim.components:
+            hook = getattr(comp, "diagnose_extra", None)
+            if hook is None:
+                continue
+            for line in hook():
+                extra.append(f"  {comp.name}: {line}")
+        if extra:
+            # Components that know more than their queues — quarantine
+            # state on a Crossing Guard, the recent move log on a rogue
+            # accelerator — self-describe here so a hung adversarial run
+            # explains itself from the report alone.
+            lines.append("-- component forensics --")
+            lines.extend(extra)
         trace = list(self.sim.trace) if self.sim.trace is not None else []
         if self.sim.trace is None:
             lines.append("-- network trace disabled (trace_depth=0); "
@@ -89,6 +103,12 @@ class Simulator:
         #: default) means every instrumentation hook in the engine and the
         #: protocol layer reduces to one attribute load + identity check.
         self.obs = None
+        #: out-of-band sampling monitors (e.g. the online invariant
+        #: watchdog). A monitor never schedules simulator events, never
+        #: touches component stats, and never consumes ``sim.rng`` — the
+        #: run loop polls it between events like the deadlock check, so
+        #: golden digests are byte-identical with monitors attached.
+        self.monitors = []
         #: ring of the last ``trace_depth`` network sends, for forensics.
         #: ``trace_depth=0`` disables recording entirely (``trace`` is
         #: None and the networks skip the recording call) — campaigns run
@@ -112,6 +132,18 @@ class Simulator:
 
     def register_network(self, network):
         self.networks.append(network)
+
+    def attach_monitor(self, monitor):
+        """Register an out-of-band run-loop monitor.
+
+        A monitor exposes ``next_due(tick) -> tick`` and
+        ``sample(sim, final=False) -> next_due_tick``; the run loop calls
+        ``sample`` between events once the clock passes the due tick, and
+        once more (``final=True``) when the queue drains. Monitors must
+        not schedule events or mutate component state — they observe.
+        """
+        self.monitors.append(monitor)
+        return monitor
 
     def component(self, name):
         """Look up a registered component by name."""
@@ -162,11 +194,16 @@ class Simulator:
         if self.deadlock_threshold is not None:
             check_interval = max(1, self.deadlock_threshold // 4)
             next_check = self.tick + check_interval
+        next_monitor = None
+        if self.monitors:
+            next_monitor = min(m.next_due(self.tick) for m in self.monitors)
         pop = self.events.pop
-        if max_ticks is None and max_events is None and next_check is None:
-            # Unlimited drain with no watchdog: the per-event limit checks
-            # can never trigger, so run the stripped loop (the heap already
-            # guarantees monotonic ticks — pop order is its invariant).
+        if (max_ticks is None and max_events is None and next_check is None
+                and next_monitor is None):
+            # Unlimited drain with no watchdog/monitors: the per-event
+            # limit checks can never trigger, so run the stripped loop
+            # (the heap already guarantees monotonic ticks — pop order is
+            # its invariant).
             try:
                 while True:
                     event = pop()
@@ -185,6 +222,7 @@ class Simulator:
                 if event is None:
                     if final_check:
                         self._check_deadlock(final=True)
+                        self._run_monitors(final=True)
                     return "idle"
                 tick = event.tick
                 if max_ticks is not None and tick > max_ticks:
@@ -203,8 +241,19 @@ class Simulator:
                 if next_check is not None and tick >= next_check:
                     self._check_deadlock(final=False)
                     next_check = tick + check_interval
+                if next_monitor is not None and tick >= next_monitor:
+                    next_monitor = self._run_monitors(final=False)
         finally:
             self._events_fired += fired
+
+    def _run_monitors(self, final):
+        """Sample every attached monitor; returns the earliest next-due tick."""
+        earliest = None
+        for monitor in self.monitors:
+            due = monitor.sample(self, final=final)
+            if due is not None and (earliest is None or due < earliest):
+                earliest = due
+        return earliest
 
     def _check_deadlock(self, final):
         """Raise when a component has visible pending work that is too old.

@@ -9,15 +9,38 @@
 * :mod:`repro.testing.chaos` — fault-injected interconnect campaigns:
   drops, duplicates, delay spikes, and payload corruption on the
   XG<->accelerator link, with host safety and CPU progress asserted.
+* :mod:`repro.testing.rogue` — programmable Byzantine accelerators
+  (:class:`~repro.accel.rogue.RoguePlan` driven) with per-cell
+  containment classification and the online invariant watchdog.
 """
 
 from repro.testing.chaos import ChaosResult, run_chaos_campaign, run_chaos_matrix
+from repro.testing.invariants import (
+    DEFAULT_WATCHDOG_INTERVAL,
+    InvariantError,
+    InvariantWatchdog,
+    check_all,
+)
 from repro.testing.random_tester import DataCheckError, RandomTester
+from repro.testing.rogue import (
+    ROGUE_PLANS,
+    RogueResult,
+    run_rogue_campaign,
+    run_rogue_matrix,
+)
 
 __all__ = [
     "ChaosResult",
     "DataCheckError",
+    "DEFAULT_WATCHDOG_INTERVAL",
+    "InvariantError",
+    "InvariantWatchdog",
+    "ROGUE_PLANS",
     "RandomTester",
+    "RogueResult",
+    "check_all",
     "run_chaos_campaign",
     "run_chaos_matrix",
+    "run_rogue_campaign",
+    "run_rogue_matrix",
 ]

@@ -25,10 +25,12 @@ them deliberately with ``python -m repro golden --update``.
 import hashlib
 import json
 
+from repro.accel.rogue import RogueAccel
 from repro.coherence.controller import dispatch_mode
 from repro.host.config import AccelOrg, HostProtocol, SystemConfig
 from repro.host.system import build_system
 from repro.obs import Telemetry
+from repro.testing.invariants import DEFAULT_WATCHDOG_INTERVAL
 from repro.testing.random_tester import RandomTester
 from repro.xg.interface import XGVariant
 
@@ -119,6 +121,10 @@ def _run_stress(host, org, xg_variant, seed, ops):
         accel_timeout=150_000,
         mem_latency=30,
         trace_depth=0,
+        # Deliberately on: golden digests double as the proof that the
+        # online invariant watchdog is digest-neutral (it samples between
+        # events and never schedules, counts, or draws randomness).
+        invariant_interval=DEFAULT_WATCHDOG_INTERVAL,
     )
     system = build_system(config)
     obs = Telemetry(system.sim)
@@ -175,7 +181,23 @@ def golden_run(scenario, host, org=AccelOrg.XG,
         system, obs = _run_chaos(host, xg_variant, seed, ops)
     else:
         raise ValueError(f"unknown golden scenario {scenario!r} (try {SCENARIOS})")
+    _assert_no_rogue(system)
     return digest_system(system, obs)
+
+
+def _assert_no_rogue(system):
+    """Golden runs pin *reference* behavior; a Byzantine component inside
+    one would silently turn the pinned digests adversarial. The fuzz and
+    chaos scenarios use the fixed-behavior adversaries deliberately —
+    only plan-driven rogues are banned."""
+    rogues = [
+        comp.name for comp in system.sim.components if isinstance(comp, RogueAccel)
+    ]
+    if rogues:
+        raise AssertionError(
+            f"golden run instantiated rogue component(s) {rogues}; "
+            "rogue plans must never reach a golden configuration"
+        )
 
 
 # -- compiled-vs-legacy equivalence -------------------------------------------

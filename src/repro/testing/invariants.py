@@ -129,10 +129,19 @@ def check_xg_mirror(system):
             continue
         held = {}
         visible = [accel_l2] if accel_l2 is not None else list(caches)
-        for cache in visible:
-            array = getattr(cache, "cache", None)
-            if array is None:
-                continue
+        arrays = [
+            array
+            for array in (getattr(cache, "cache", None) for cache in visible)
+            if array is not None
+        ]
+        if not arrays:
+            # Adversary/rogue components have no cache array: the
+            # accelerator side of this group is unobservable, so the
+            # mirror cannot be cross-checked (and a Byzantine endpoint's
+            # "state" is meaningless anyway — the mirror is XG's defensive
+            # model of it, not a contract).
+            continue
+        for array in arrays:
             for entry in array.entries():
                 held[entry.addr] = entry.state
         for addr, mirror in xg.mirror.items():
@@ -166,3 +175,130 @@ def check_all(system):
     check_value_consistency(system)
     check_xg_mirror(system)
     return True
+
+
+# -- online sampling ----------------------------------------------------------
+
+#: Default watchdog sampling period in ticks. Chosen well below the
+#: campaign deadlock thresholds so a corruption is caught within one
+#: "round" of traffic, while staying cheap (a sample is a handful of
+#: attribute loads unless the system happens to be quiescent).
+DEFAULT_WATCHDOG_INTERVAL = 2000
+
+
+class InvariantWatchdog:
+    """Periodic online :func:`check_all` sampling inside the run loop.
+
+    Attach via :meth:`Simulator.attach_monitor`. The global invariants
+    only hold on a *quiescent* system — mid-transaction, two stable
+    owners can legitimately coexist for an instant — so each due sample
+    first checks a quiescence proxy (no pending port work, no open TBEs,
+    no stalled messages, watchdog-exempt adversaries excluded) and counts
+    a skip when traffic is in flight. The final drain is always sampled,
+    so every run gets at least one full check.
+
+    The watchdog deliberately keeps its own plain counters: it must not
+    touch component :class:`~repro.sim.stats.Stats`, schedule simulator
+    events, or consume ``sim.rng``, so golden digests stay byte-identical
+    with it enabled.
+
+    On a violation it records span/trace forensics, annotates the
+    :class:`InvariantError` with them (``exc.forensics``), and re-raises
+    (``raise_on_violation=False`` collects instead, for post-run triage).
+    """
+
+    def __init__(self, system, interval=DEFAULT_WATCHDOG_INTERVAL,
+                 raise_on_violation=True):
+        self.system = system
+        self.interval = max(1, int(interval))
+        self.raise_on_violation = raise_on_violation
+        self.samples = 0   # times the loop handed us control
+        self.checks = 0    # samples that found quiescence and ran check_all
+        self.skipped = 0   # samples skipped because traffic was in flight
+        self.violations = []
+        self._next = None
+
+    def next_due(self, tick):
+        if self._next is None:
+            self._next = tick + self.interval
+        return self._next
+
+    def _quiescent(self):
+        for comp in self.system.sim.components:
+            if comp.watchdog_exempt:
+                # A dead rogue's unread mail must not mask host checking.
+                continue
+            if comp.next_pending_tick() is not None:
+                return False
+            tbes = getattr(comp, "tbes", None)
+            if tbes is not None and len(tbes):
+                return False
+            stalled = getattr(comp, "stalled_count", None)
+            if stalled is not None and comp.stalled_count():
+                return False
+        return True
+
+    def sample(self, sim, final=False):
+        self.samples += 1
+        self._next = sim.tick + self.interval
+        if not self._quiescent():
+            self.skipped += 1
+            return self._next
+        self.checks += 1
+        try:
+            check_all(self.system)
+        except InvariantError as exc:
+            record = self._forensics(sim, exc, final)
+            self.violations.append(record)
+            obs = sim.obs
+            if obs is not None:
+                obs.record_mark(
+                    sim.tick, "invariant_violation", component="watchdog",
+                    name=type(exc).__name__,
+                )
+            if self.raise_on_violation:
+                exc.forensics = record
+                raise
+        return self._next
+
+    def _forensics(self, sim, exc, final):
+        """Span/trace snapshot taken at the violating sample."""
+        trace = []
+        if sim.trace is not None:
+            for tick, net, mtype, addr, sender, dest, note in sim.trace:
+                mname = getattr(mtype, "name", mtype)
+                addr_s = f"{addr:#x}" if isinstance(addr, int) else str(addr)
+                suffix = f" [{note}]" if note else ""
+                trace.append(f"t={tick} {net}: {mname} {addr_s} {sender}->{dest}{suffix}")
+        open_spans = 0
+        obs = sim.obs
+        if obs is not None:
+            open_spans = obs.spans.open_count
+        quarantine = [
+            {"xg": xg.name, "state": xg.error_log.quarantine_state,
+             "violations": len(xg.error_log)}
+            for xg in self.system.xgs
+        ]
+        component_lines = []
+        for comp in sim.components:
+            hook = getattr(comp, "diagnose_extra", None)
+            if hook is not None:
+                component_lines.extend(f"{comp.name}: {line}" for line in hook())
+        return {
+            "tick": sim.tick,
+            "final": final,
+            "error": str(exc),
+            "trace": trace,
+            "open_spans": open_spans,
+            "quarantine": quarantine,
+            "components": component_lines,
+        }
+
+    def as_dict(self):
+        return {
+            "interval": self.interval,
+            "samples": self.samples,
+            "checks": self.checks,
+            "skipped": self.skipped,
+            "violations": list(self.violations),
+        }

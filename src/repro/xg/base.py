@@ -79,6 +79,7 @@ class CrossingGuardBase(CoherenceController):
         probe_retries=0,
         suppress_puts=False,
         block_size=64,
+        throttle_rate=None,
     ):
         self.host_net = host_net
         self.accel_net = accel_net
@@ -94,6 +95,10 @@ class CrossingGuardBase(CoherenceController):
         #: timeout; >0 hardens against a lossy accel link.
         self.probe_retries = probe_retries
         self.suppress_puts = suppress_puts
+        #: punitive ``(rate, period)`` the rate limiter is clamped to when
+        #: the error log climbs to the "throttled" quarantine rung; None
+        #: leaves the configured rate alone (ladder is advisory there).
+        self.throttle_rate = throttle_rate
         self.block_size = block_size
         self.accel_name = None
         self.tbes = TBETable(name=name)
@@ -163,9 +168,29 @@ class CrossingGuardBase(CoherenceController):
                 self.sim.tick, "violation", component=self.name,
                 name=guarantee.name, addr=addr,
             )
-        return self.error_log.report(
+        log = self.error_log
+        before = log.quarantine_state
+        error = log.report(
             self.sim.tick, guarantee, addr, description, accel=self.accel_name or ""
         )
+        after = log.quarantine_state
+        if after != before:
+            self._escalate(after, addr)
+        return error
+
+    def _escalate(self, state, addr):
+        """Climb one rung of the quarantine ladder (warn/throttle/disable)."""
+        self.stats.inc(f"quarantine.{state}")
+        obs = self.sim.obs
+        if obs is not None:
+            obs.record_mark(
+                self.sim.tick, "quarantine", component=self.name,
+                name=state, addr=addr,
+            )
+        if state == "throttled" and self.throttle_rate is not None:
+            rate, period = self.throttle_rate
+            self.rate_limiter.set_rate(rate, period=period)
+            self.stats.inc("throttle_applied")
 
     # -- mirror helpers ---------------------------------------------------------------
 
@@ -249,13 +274,46 @@ class CrossingGuardBase(CoherenceController):
 
     # -- accelerator requests (Gets and Puts) ---------------------------------------------------
 
-    def _handle_accel_request(self, msg):
-        addr = self.align(msg.addr)
+    def _reject_malformed(self, msg, channel):
+        """Typed rejection of a message the interface cannot even parse.
+
+        Rejected *before* any address arithmetic or table lookups: a
+        non-integer address or a type outside :class:`AccelMsg` must not
+        be able to crash the Crossing Guard (Guarantee 3).
+        """
         if self.error_log.accel_disabled:
             self.stats.inc("dropped_disabled")
             return CONSUMED
-        if msg.mtype not in ACCEL_REQUESTS:
-            # A response (or garbage) on the request channel.
+        addr = self.align(msg.addr) if type(msg.addr) is int else 0
+        mname = getattr(msg.mtype, "name", msg.mtype)
+        self.stats.inc("malformed_rejected")
+        self.report(
+            Guarantee.G3_MALFORMED,
+            addr,
+            f"unparseable message ({mname!r}, addr={msg.addr!r}) "
+            f"on {channel} channel",
+        )
+        return CONSUMED
+
+    def _handle_accel_request(self, msg):
+        if type(msg.addr) is not int:
+            return self._reject_malformed(msg, "request")
+        addr = self.align(msg.addr)
+        if self.error_log.accel_disabled:
+            # Quarantine re-entry rejection: the request is dropped, and
+            # the explicit abort tells a well-behaved endpoint not to
+            # wait on a completion that can never come.
+            self.stats.inc("dropped_disabled")
+            self.send_to_accel(AccelMsg.Nack, addr)
+            return CONSUMED
+        try:
+            is_request = msg.mtype in ACCEL_REQUESTS
+        except TypeError:  # unhashable garbage posing as a message type
+            return self._reject_malformed(msg, "request")
+        if not is_request:
+            if not isinstance(msg.mtype, AccelMsg):
+                return self._reject_malformed(msg, "request")
+            # A known response type on the request channel.
             self.report(
                 Guarantee.G2B_TRANSIENT_RESPONSE,
                 addr,
@@ -399,7 +457,7 @@ class CrossingGuardBase(CoherenceController):
                     f"{msg.mtype.name} while accelerator state is {state}",
                 )
                 return CONSUMED
-        if msg.mtype is not AccelMsg.PutS and msg.data is None:
+        if msg.mtype is not AccelMsg.PutS and not isinstance(msg.data, DataBlock):
             self.report(
                 Guarantee.G1A_STABLE_REQUEST, addr, f"{msg.mtype.name} without data payload"
             )
@@ -428,7 +486,7 @@ class CrossingGuardBase(CoherenceController):
         tbe = self.tbes.allocate(addr, "accel_put", now=self.sim.tick)
         tbe.meta["kind"] = "accel_put"
         tbe.meta["put_type"] = msg.mtype
-        tbe.data = msg.data.copy() if msg.data is not None else None
+        tbe.data = msg.data.copy() if isinstance(msg.data, DataBlock) else None
         tbe.dirty = msg.mtype is AccelMsg.PutM
         if span is not None:
             tbe.meta["span"] = span
@@ -439,8 +497,16 @@ class CrossingGuardBase(CoherenceController):
     # -- accelerator responses (to Invalidate) ------------------------------------------------------
 
     def _handle_accel_response(self, msg):
+        if type(msg.addr) is not int:
+            return self._reject_malformed(msg, "response")
         addr = self.align(msg.addr)
-        if msg.mtype not in ACCEL_RESPONSES:
+        try:
+            is_response = msg.mtype in ACCEL_RESPONSES
+        except TypeError:  # unhashable garbage posing as a message type
+            return self._reject_malformed(msg, "response")
+        if not is_response:
+            if not isinstance(msg.mtype, AccelMsg):
+                return self._reject_malformed(msg, "response")
             if self.error_log.accel_disabled:
                 self.stats.inc("dropped_disabled")
                 return CONSUMED
@@ -479,7 +545,9 @@ class CrossingGuardBase(CoherenceController):
         if timeout is not None:
             timeout.cancel()
         got_wb = msg.mtype in (AccelMsg.CleanWB, AccelMsg.DirtyWB)
-        data = msg.data.copy() if (got_wb and msg.data is not None) else None
+        # isinstance: a Byzantine payload (wrong type entirely) is treated
+        # as missing data rather than allowed to crash the copy below
+        data = msg.data.copy() if (got_wb and isinstance(msg.data, DataBlock)) else None
         dirty = msg.mtype is AccelMsg.DirtyWB
         if got_wb and data is None:
             self.report(
@@ -622,7 +690,7 @@ class CrossingGuardBase(CoherenceController):
             timeout.cancel()
         self.send_to_accel(AccelMsg.WBAck, addr)
         got_wb = msg.mtype in (AccelMsg.PutE, AccelMsg.PutM)
-        data = msg.data.copy() if msg.data is not None else None
+        data = msg.data.copy() if isinstance(msg.data, DataBlock) else None
         dirty = msg.mtype is AccelMsg.PutM
         if got_wb and data is None:
             self.report(
@@ -757,9 +825,14 @@ class CrossingGuardBase(CoherenceController):
             )
         needs_data = tbe.meta["needs_data"]
         owned = tbe.meta.get("mirror_owned", False)
-        got_wb = needs_data or owned
-        data = DataBlock(self.block_size) if got_wb else None
-        got_wb, data, dirty_flag = self._apply_retained(addr, needs_data, got_wb, data, got_wb)
+        # Prefer the retained copy (if any) over a fabricated zero block:
+        # a quarantined accelerator whose grants were suppressed still
+        # gets its real data handed back to the host.
+        got_wb, data, dirty_flag = self._apply_retained(addr, needs_data, False, None, False)
+        if not got_wb and (needs_data or owned):
+            got_wb = True
+            data = DataBlock(self.block_size)
+            dirty_flag = True
         self.mirror_remove(addr)
         self.host_answer_probe(addr, tbe, got_wb=got_wb, data=data, dirty=dirty_flag)
         tbe.meta["span_status"] = "timeout"
@@ -792,6 +865,24 @@ class CrossingGuardBase(CoherenceController):
             if span is not None:
                 obs.spans.phase(span, "host_granted", self.sim.tick)
         permission = tbe.permission
+        if self.error_log.accel_disabled:
+            # The host-side transaction completed while the accelerator
+            # sat in quarantine: drain it without forwarding the grant
+            # across the crossing. Full State retains the data so later
+            # host probes are served the real bytes instead of surrogate
+            # zeros; Transactional falls back to the zero surrogate.
+            entry = self.mirror_set(addr, "I", permission)
+            if entry is not None:
+                entry.retained_data = data.copy()
+                entry.retained_dirty = dirty or grant == "M"
+            self.stats.inc("grants_suppressed_disabled")
+            self.tbes.deallocate(addr)
+            if obs is not None:
+                span = tbe.meta.get("span")
+                if span is not None:
+                    obs.spans.finish(span, self.sim.tick, status="suppressed_disabled")
+            self.wake_stalled(addr)
+            return
         if grant in ("E", "M") and not permission.allows_write():
             # Guarantee 0b: the accelerator may never own a block it cannot
             # write. Full State retains the data and ownership itself.
@@ -829,6 +920,16 @@ class CrossingGuardBase(CoherenceController):
             if span is not None:
                 obs.spans.finish(span, self.sim.tick, status="ok")
         self.wake_stalled(addr)
+
+    def diagnose_extra(self):
+        """Containment summary line for deadlock/invariant forensics."""
+        log = self.error_log
+        mirror = len(self.mirror) if self.mirror is not None else 0
+        return [
+            f"quarantine={log.quarantine_state} violations={len(log)} "
+            f"limiter={self.rate_limiter!r} open_tbes={len(self.tbes)} "
+            f"mirror_entries={mirror} accel={self.accel_name}"
+        ]
 
     def context_switch_cost(self):
         """Work needed to hand this XG to a different accelerator.

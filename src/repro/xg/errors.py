@@ -20,6 +20,7 @@ class Guarantee(enum.Enum):
     G2A_STABLE_RESPONSE = enum.auto()  # response inconsistent with stable state
     G2B_TRANSIENT_RESPONSE = enum.auto()  # response with no pending request
     G2C_TIMEOUT = enum.auto()  # no response within the timeout
+    G3_MALFORMED = enum.auto()  # message the interface cannot even parse
 
 
 class XGError:
@@ -51,18 +52,45 @@ class XGError:
         )
 
 
+#: Quarantine ladder rungs, mildest first.
+QUARANTINE_STATES = ("healthy", "warned", "throttled", "disabled")
+
+
 class XGErrorLog:
     """The OS's view of accelerator misbehavior.
 
-    ``disable_after`` models an OS policy that disables the accelerator
-    (further requests dropped at the Crossing Guard) once the error count
-    crosses a threshold; None leaves the accelerator enabled forever.
+    The three thresholds form an escalating quarantine ladder over the
+    cumulative violation count:
+
+    * ``warn_after``      — advisory rung: the OS is alerted (a mark in
+      the telemetry stream), nothing else changes;
+    * ``throttle_after``  — the Crossing Guard clamps the accelerator's
+      request rate limiter to its punitive setting;
+    * ``disable_after``   — further requests are dropped (Nack'd) at the
+      Crossing Guard and probes are answered by surrogate.
+
+    Each may be None to skip that rung; ``disable_after`` alone
+    reproduces the original binary enable/disable policy.
     """
 
-    def __init__(self, disable_after=None):
+    def __init__(self, disable_after=None, warn_after=None, throttle_after=None):
         self.errors = []
         self.disable_after = disable_after
+        self.warn_after = warn_after
+        self.throttle_after = throttle_after
         self.accel_disabled = False
+
+    @property
+    def quarantine_state(self):
+        """Current rung of the quarantine ladder."""
+        count = len(self.errors)
+        if self.accel_disabled:
+            return "disabled"
+        if self.throttle_after is not None and count >= self.throttle_after:
+            return "throttled"
+        if self.warn_after is not None and count >= self.warn_after:
+            return "warned"
+        return "healthy"
 
     def report(self, tick, guarantee, addr, description, accel=""):
         error = XGError(tick, guarantee, addr, description, accel=accel)
@@ -88,6 +116,9 @@ class XGErrorLog:
             "count": len(self.errors),
             "accel_disabled": self.accel_disabled,
             "disable_after": self.disable_after,
+            "warn_after": self.warn_after,
+            "throttle_after": self.throttle_after,
+            "quarantine_state": self.quarantine_state,
             "by_guarantee": {g.name: n for g, n in self.by_guarantee().items()},
             "errors": [error.as_dict() for error in self.errors],
         }

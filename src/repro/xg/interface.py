@@ -34,6 +34,13 @@ class AccelMsg(enum.Enum):
     CleanWB = enum.auto()  # block was E: clean writeback (carries data)
     DirtyWB = enum.auto()  # block was M: dirty writeback (carries data)
 
+    # -- XG -> accelerator abort: the request it answers will never
+    # complete because the accelerator has been quarantined (disabled by
+    # OS policy). Only ever sent to an already-disabled endpoint, so a
+    # correct accelerator never sees one; receivers treat it as a
+    # terminal completion of the aborted request.
+    Nack = enum.auto()
+
 
 ACCEL_REQUESTS = frozenset(
     {AccelMsg.GetS, AccelMsg.GetM, AccelMsg.PutS, AccelMsg.PutE, AccelMsg.PutM}

@@ -14,28 +14,47 @@ class RateLimiter:
 
     ``acquire(now)`` returns 0 when a token is available (and consumes it)
     or the number of ticks to wait before retrying.
+
+    The bucket is kept as an integer *credit* in units of ``1/period``
+    tokens (one whole token = ``period`` credit), so refills over
+    arbitrarily large tick deltas are exact — the float accumulation the
+    original implementation used drifted over long campaigns. A
+    ``burst=0`` configuration is floored at one token of capacity: with a
+    rate set, a zero-capacity bucket could never accumulate a whole token
+    and every request would retry forever (admission livelock).
     """
 
     def __init__(self, rate=None, period=100, burst=None):
         if rate is not None and rate <= 0:
             raise ValueError("rate must be positive (or None for unlimited)")
+        if period <= 0:
+            raise ValueError("period must be positive")
         self.rate = rate
         self.period = period
         self.burst = burst if burst is not None else (rate if rate else 0)
-        self._tokens = float(self.burst)
+        self._credit = int(self.burst) * period
         self._last_refill = 0
         self.throttled = 0
         self.admitted = 0
+        self.rate_changes = 0
 
     @property
     def unlimited(self):
         return self.rate is None
 
+    @property
+    def tokens(self):
+        """Whole tokens currently available (diagnostics only)."""
+        return self._credit // self.period
+
+    def _capacity(self):
+        return max(int(self.burst), 1) * self.period
+
     def _refill(self, now):
         if now <= self._last_refill:
             return
         elapsed = now - self._last_refill
-        self._tokens = min(self.burst, self._tokens + elapsed * self.rate / self.period)
+        self._credit = min(self._capacity(), self._credit + elapsed * self.rate)
         self._last_refill = now
 
     def acquire(self, now):
@@ -44,22 +63,38 @@ class RateLimiter:
             self.admitted += 1
             return 0
         self._refill(now)
-        if self._tokens >= 1.0:
-            self._tokens -= 1.0
+        if self._credit >= self.period:
+            self._credit -= self.period
             self.admitted += 1
             return 0
         self.throttled += 1
-        deficit = 1.0 - self._tokens
-        wait = int(deficit * self.period / self.rate) + 1
-        return wait
+        deficit = self.period - self._credit
+        # exact ceiling division: the tick at which a whole token exists
+        return max(1, -(-deficit // self.rate))
 
     def set_rate(self, rate, period=None, burst=None):
-        """OS register write: change the allowed request rate."""
-        self.rate = rate
+        """OS register write: change the allowed request rate.
+
+        Accumulated credit is rescaled into the new period's units (and
+        clamped to the new capacity) so a rate change never mints tokens
+        out of thin air and never zeroes legitimately earned headroom.
+        """
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive (or None for unlimited)")
+        old_period = self.period
         if period is not None:
+            if period <= 0:
+                raise ValueError("period must be positive")
             self.period = period
+        self.rate = rate
         self.burst = burst if burst is not None else (rate if rate else 0)
-        self._tokens = min(self._tokens, float(self.burst))
+        self.rate_changes += 1
+        if rate is None:
+            self._credit = 0
+            return
+        if self.period != old_period:
+            self._credit = self._credit * self.period // old_period
+        self._credit = min(self._credit, self._capacity())
 
     def __repr__(self):
         if self.unlimited:

@@ -7,6 +7,7 @@ from repro.host.system import build_system
 from repro.protocols.mesi.l1 import L1State
 from repro.testing.invariants import (
     InvariantError,
+    InvariantWatchdog,
     check_all,
     check_quiescent,
     check_single_writer,
@@ -88,3 +89,82 @@ def test_baselines_skip_mirror_check():
     system = _drained_system(org=AccelOrg.ACCEL_SIDE)
     assert check_xg_mirror(system)  # no XG: vacuously true
     assert check_all(system)
+
+
+# -- online invariant watchdog -----------------------------------------------------
+
+
+def _watched_system(interval=500):
+    system = build_system(
+        SystemConfig(org=AccelOrg.XG, n_cpus=2, n_accel_cores=1,
+                     invariant_interval=interval)
+    )
+    assert system.watchdog is not None
+    return system
+
+
+def test_watchdog_samples_during_clean_run():
+    system = _watched_system()
+    for i in range(30):
+        system.cpu_seqs[i % 2].store(0x1000 + 64 * (i % 4), i)
+        system.accel_seqs[0].load(0x1000 + 64 * (i % 4))
+        system.sim.run()
+    dog = system.watchdog
+    assert dog.samples > 0
+    assert dog.checks > 0, "the final drain sample alone guarantees one check"
+    assert dog.violations == []
+    report = dog.as_dict()
+    assert report["samples"] == dog.samples
+    assert report["checks"] + 0 >= 1
+
+
+def test_watchdog_skips_midflight_samples():
+    system = _watched_system(interval=1)
+    system.cpu_seqs[0].store(0x1000, 5)
+    system.accel_seqs[0].load(0x1000)
+    system.sim.run()
+    dog = system.watchdog
+    # With a 1-tick interval most samples land mid-transaction and must be
+    # skipped, not raise false single-writer/mirror alarms.
+    assert dog.skipped > 0
+    assert dog.samples == dog.checks + dog.skipped
+    assert dog.violations == []
+
+
+def test_watchdog_catches_seeded_corruption_with_forensics():
+    system = _watched_system()
+    system.cpu_seqs[0].store(0x1000, 5)
+    system.sim.run()
+    # Corrupt XG's mirror: it now claims the accelerator holds a block the
+    # accelerator has never seen.
+    system.xg.mirror_set(0x8040, "O", None)
+    with pytest.raises(InvariantError) as exc_info:
+        system.watchdog.sample(system.sim, final=True)
+    record = exc_info.value.forensics
+    assert record["tick"] == system.sim.tick
+    assert "mirror" in record["error"]
+    assert record["quarantine"][0]["state"] == "healthy"
+    assert system.watchdog.violations == [record]
+
+
+def test_watchdog_collect_mode_does_not_raise():
+    system = _watched_system()
+    system.watchdog.raise_on_violation = False
+    system.cpu_seqs[0].store(0x1000, 5)
+    system.sim.run()
+    system.xg.mirror_set(0x8040, "O", None)
+    system.watchdog.sample(system.sim, final=True)
+    assert len(system.watchdog.violations) == 1
+
+
+def test_watchdog_never_schedules_events_or_touches_stats():
+    system = _watched_system()
+    system.cpu_seqs[0].store(0x1000, 5)
+    system.sim.run()
+    fired_before = system.sim._events_fired
+    queue_before = len(system.sim.events)
+    stats_before = {c.name: c.stats.as_dict() for c in system.sim.components}
+    system.watchdog.sample(system.sim, final=True)
+    assert system.sim._events_fired == fired_before
+    assert len(system.sim.events) == queue_before
+    assert {c.name: c.stats.as_dict() for c in system.sim.components} == stats_before

@@ -1,0 +1,209 @@
+"""Unit tests for the escalating quarantine ladder and the
+``accel_disabled`` containment path (surrogate takeover, in-flight
+drain, re-entry rejection), driven directly with scripted RawAgents.
+"""
+
+from repro.memory.datablock import DataBlock
+from repro.protocols.mesi.messages import MesiMsg
+from repro.sim.network import FixedLatency, Network
+from repro.sim.simulator import Simulator
+from repro.xg.errors import Guarantee, XGErrorLog
+from repro.xg.interface import AccelMsg, XGVariant
+from repro.xg.mesi_xg import MesiCrossingGuard
+from repro.xg.permissions import PagePermission, PermissionTable
+from repro.xg.rate_limiter import RateLimiter
+
+from tests.helpers import RawAgent
+
+ADDR = 0x4000
+OTHER = 0x8000
+
+
+def _build(warn_after=None, throttle_after=None, disable_after=None,
+           throttle_rate=None, rate_limiter=None,
+           variant=XGVariant.FULL_STATE):
+    sim = Simulator(seed=0)
+    host_net = Network(sim, FixedLatency(1), name="host")
+    accel_net = Network(sim, FixedLatency(1), ordered=True, name="accel")
+    xg = MesiCrossingGuard(
+        sim, "xg", host_net, accel_net, "l2",
+        variant=variant,
+        permissions=PermissionTable(default=PagePermission.READ_WRITE),
+        error_log=XGErrorLog(disable_after=disable_after,
+                             warn_after=warn_after,
+                             throttle_after=throttle_after),
+        rate_limiter=rate_limiter,
+        throttle_rate=throttle_rate,
+        accel_timeout=100,
+    )
+    host_net.attach(xg)
+    accel_net.attach(xg)
+    l2 = RawAgent(sim, "l2", host_net)
+    RawAgent(sim, "l1.peer", host_net)
+    accel = RawAgent(sim, "accel", accel_net)
+    xg.attach_accelerator("accel")
+    return sim, xg, l2, accel
+
+
+def _block(value=0):
+    data = DataBlock()
+    data.write_byte(0, value)
+    return data
+
+
+def _step(sim, ticks=50):
+    sim.run(max_ticks=sim.tick + ticks, final_check=False)
+
+
+def _violate(sim, accel, addr=OTHER):
+    """One spurious response: a clean single-violation trigger (G2b)."""
+    accel.send(AccelMsg.InvAck, addr, "xg", "accel_response")
+    _step(sim, 10)
+
+
+def _grant_owned(sim, l2, accel, addr=ADDR):
+    accel.send(AccelMsg.GetM, addr, "xg", "accel_request")
+    _step(sim)
+    l2.send(MesiMsg.DataM, addr, "xg", "response", data=_block(3))
+    _step(sim)
+    assert accel.of_type(AccelMsg.DataM)
+
+
+# -- ladder escalation -------------------------------------------------------------
+
+
+def test_ladder_climbs_warn_throttle_disable_in_order():
+    sim, xg, l2, accel = _build(warn_after=1, throttle_after=2, disable_after=3)
+    log = xg.error_log
+    assert log.quarantine_state == "healthy"
+
+    _violate(sim, accel)
+    assert log.quarantine_state == "warned"
+    assert xg.stats.get("quarantine.warned") == 1
+    assert not log.accel_disabled
+
+    _violate(sim, accel)
+    assert log.quarantine_state == "throttled"
+    assert xg.stats.get("quarantine.throttled") == 1
+    assert not log.accel_disabled
+
+    _violate(sim, accel)
+    assert log.quarantine_state == "disabled"
+    assert xg.stats.get("quarantine.disabled") == 1
+    assert log.accel_disabled
+    assert log.count(Guarantee.G2B_TRANSIENT_RESPONSE) == 3
+    assert log.as_dict()["quarantine_state"] == "disabled"
+
+
+def test_each_rung_fires_exactly_once():
+    sim, xg, l2, accel = _build(warn_after=1, throttle_after=2, disable_after=3)
+    for _ in range(6):
+        _violate(sim, accel)
+    # Later violations while disabled are dropped at the door, and a rung
+    # already climbed never re-fires its escalation side effects.
+    assert xg.stats.get("quarantine.warned") == 1
+    assert xg.stats.get("quarantine.throttled") == 1
+    assert xg.stats.get("quarantine.disabled") == 1
+
+
+def test_throttled_rung_clamps_rate_limiter():
+    limiter = RateLimiter(rate=16, period=100)
+    sim, xg, l2, accel = _build(
+        warn_after=None, throttle_after=2, disable_after=None,
+        throttle_rate=(1, 500), rate_limiter=limiter,
+    )
+    _violate(sim, accel)
+    assert (limiter.rate, limiter.period) == (16, 100)
+    _violate(sim, accel)
+    assert xg.error_log.quarantine_state == "throttled"
+    assert (limiter.rate, limiter.period) == (1, 500)
+    assert xg.stats.get("throttle_applied") == 1
+    # The clamp bites: a request burst is now actually delayed.
+    for i in range(4):
+        accel.send(AccelMsg.GetS, 0x10000 + 64 * i, "xg", "accel_request")
+    _step(sim, 5)
+    assert limiter.throttled > 0
+
+
+def test_ladder_rungs_are_individually_optional():
+    sim, xg, l2, accel = _build(disable_after=1)  # no warn/throttle rungs
+    _violate(sim, accel)
+    assert xg.error_log.quarantine_state == "disabled"
+    assert not xg.stats.get("quarantine.warned")
+    assert not xg.stats.get("quarantine.throttled")
+
+
+# -- accel_disabled: re-entry rejection --------------------------------------------
+
+
+def test_disabled_requests_are_nacked_not_forwarded():
+    sim, xg, l2, accel = _build(disable_after=1)
+    _violate(sim, accel)
+    for i in range(3):
+        accel.send(AccelMsg.GetM, ADDR + 64 * i, "xg", "accel_request")
+    sim.run()
+    assert xg.stats.get("dropped_disabled") == 3
+    assert len(accel.of_type(AccelMsg.Nack)) == 3
+    assert not l2.received, "no quarantined request may reach the host"
+    assert xg.tbes.lookup(ADDR) is None
+
+
+def test_disabled_swallows_further_responses_silently():
+    sim, xg, l2, accel = _build(disable_after=1)
+    _violate(sim, accel)
+    before = len(xg.error_log)
+    _violate(sim, accel)
+    _violate(sim, accel)
+    assert len(xg.error_log) == before, (
+        "post-quarantine garbage must not grow the error log unboundedly"
+    )
+    assert xg.stats.get("dropped_disabled") >= 2
+
+
+# -- accel_disabled: surrogate takeover of host probes -----------------------------
+
+
+def test_probe_after_disable_is_answered_by_surrogate():
+    sim, xg, l2, accel = _build(disable_after=1)
+    _grant_owned(sim, l2, accel)
+    inv_before = len(accel.of_type(AccelMsg.Invalidate))
+    _violate(sim, accel)
+    assert xg.error_log.accel_disabled
+    l2.send(MesiMsg.Fwd_GetM, ADDR, "xg", "forward", requestor="l1.peer")
+    sim.run()
+    peer = sim.component("l1.peer")
+    assert peer.of_type(MesiMsg.DataM), "surrogate must answer for the accel"
+    assert xg.stats.get("quarantine_surrogates") == 1
+    assert len(accel.of_type(AccelMsg.Invalidate)) == inv_before, (
+        "a disabled accelerator is never probed"
+    )
+    (timeout,) = [e for e in xg.error_log
+                  if e.guarantee is Guarantee.G2C_TIMEOUT]
+    assert "quarantined" in timeout.description, (
+        "the surrogate's G2c entry must say quarantine, not link timeout"
+    )
+    assert xg.tbes.lookup(ADDR) is None
+
+
+# -- accel_disabled: in-flight transaction drain -----------------------------------
+
+
+def test_inflight_grant_is_suppressed_and_drained():
+    sim, xg, l2, accel = _build(disable_after=1)
+    accel.send(AccelMsg.GetM, ADDR, "xg", "accel_request")
+    _step(sim, 10)
+    assert xg.tbes.lookup(ADDR) is not None, "request must be in flight"
+    _violate(sim, accel)
+    assert xg.error_log.accel_disabled
+    # The host-side grant for the in-flight Get lands after quarantine.
+    l2.send(MesiMsg.DataM, ADDR, "xg", "response", data=_block(7))
+    sim.run()
+    assert not accel.of_type(AccelMsg.DataM), (
+        "the grant must never cross to a disabled accelerator"
+    )
+    assert xg.stats.get("grants_suppressed_disabled") == 1
+    assert xg.tbes.lookup(ADDR) is None, "the transaction must still drain"
+    # Full State retains the granted bytes so a later host probe gets the
+    # real data from the surrogate rather than zeros.
+    entry = xg.mirror_entry(ADDR)
+    assert entry is not None and entry.retained_data is not None

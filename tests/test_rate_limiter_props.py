@@ -1,0 +1,102 @@
+"""Property-style regression tests for the token-bucket rate limiter.
+
+The original implementation accumulated a float token balance, which
+drifted over million-tick campaigns, and a ``burst=0`` configuration
+could livelock (no whole token ever accumulated). The limiter now keeps
+an exact integer credit in 1/period units; these tests pin the exactness
+and the zero-burst floor.
+"""
+
+import random
+
+import pytest
+
+from repro.xg.rate_limiter import RateLimiter
+
+
+def test_long_run_admission_is_exact():
+    """rate=1/period=3 polled every tick for 100k ticks admits exactly
+    the burst token plus one token per full period — no drift."""
+    limiter = RateLimiter(rate=1, period=3, burst=1)
+    admitted = 0
+    for now in range(100_000):
+        if limiter.acquire(now) == 0:
+            admitted += 1
+    assert admitted == 1 + (100_000 - 1) // 3
+
+
+def test_zero_burst_config_admits_eventually():
+    limiter = RateLimiter(rate=1, period=100, burst=0)
+    wait = limiter.acquire(0)
+    assert wait > 0
+    # The capacity floor guarantees a whole token can accumulate.
+    assert limiter.acquire(wait) == 0
+    assert limiter.admitted == 1
+
+
+def test_returned_wait_is_honest():
+    """acquire(now + wait) always succeeds, and never one tick earlier."""
+    rng = random.Random(7)
+    limiter = RateLimiter(rate=3, period=17, burst=2)
+    now = 0
+    for _ in range(2_000):
+        now += rng.randrange(0, 9)
+        wait = limiter.acquire(now)
+        if wait == 0:
+            continue
+        if wait > 1:
+            assert limiter.acquire(now + wait - 1) > 0, (
+                f"tick {now}: wait {wait} was pessimistic"
+            )
+        assert limiter.acquire(now + wait) == 0, (
+            f"tick {now}: wait {wait} was optimistic"
+        )
+        now += wait
+
+
+def test_tokens_never_exceed_capacity():
+    limiter = RateLimiter(rate=5, period=10, burst=2)
+    limiter.acquire(1_000_000)  # huge idle gap refills at most to capacity
+    assert limiter.tokens <= 2
+
+
+def test_set_rate_rescaling_mints_no_tokens():
+    limiter = RateLimiter(rate=10, period=100, burst=4)
+    limiter.acquire(0)  # spend one: 3 whole tokens remain
+    before = limiter.tokens
+    limiter.set_rate(10, period=300, burst=4)
+    assert limiter.tokens == before, "rescale must preserve earned credit"
+    limiter.set_rate(1, period=7, burst=1)
+    assert limiter.tokens <= 1, "clamped to the new (smaller) capacity"
+
+
+def test_throttle_clamp_scenario_is_stable():
+    """The quarantine ladder's clamp: generous -> punitive mid-stream."""
+    limiter = RateLimiter(rate=16, period=100)
+    for now in range(0, 200, 10):
+        limiter.acquire(now)
+    limiter.set_rate(1, period=500)
+    admitted = sum(
+        1 for now in range(200, 10_200) if limiter.acquire(now) == 0
+    )
+    # At 1 token per 500 ticks over 10k ticks: at most the clamped steady
+    # state plus the single token of carried-over credit.
+    assert admitted <= 10_000 // 500 + 1
+    assert limiter.throttled > 0
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(ValueError):
+        RateLimiter(rate=0)
+    with pytest.raises(ValueError):
+        RateLimiter(rate=1, period=0)
+    limiter = RateLimiter(rate=1)
+    with pytest.raises(ValueError):
+        limiter.set_rate(-3)
+
+
+def test_unlimited_admits_everything():
+    limiter = RateLimiter()
+    assert all(limiter.acquire(now) == 0 for now in range(100))
+    assert limiter.admitted == 100
+    assert limiter.throttled == 0

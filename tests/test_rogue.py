@@ -1,0 +1,297 @@
+"""Byzantine rogue accelerators: plans, containment campaigns, guards.
+
+Covers the :class:`~repro.accel.rogue.RoguePlan` serialization contract,
+per-plan containment outcomes, the campaign matrix plumbing, XG's
+malformed-message rejection, accelerator-side Nack tolerance, and the
+golden-run guard that keeps rogues out of pinned reference runs.
+"""
+
+import pytest
+
+from repro.accel.l1_single import AccelL1
+from repro.accel.rogue import ROGUE_MOVES, RogueAccel, RoguePlan
+from repro.host.config import AccelOrg, HostProtocol, SystemConfig
+from repro.host.system import build_system
+from repro.sim.network import FixedLatency, Network
+from repro.sim.simulator import Simulator
+from repro.testing.golden import _assert_no_rogue, digest_system
+from repro.testing.rogue import (
+    CONTAINMENT_OUTCOMES,
+    ROGUE_PLANS,
+    run_rogue_campaign,
+    run_rogue_matrix,
+)
+from repro.xg.errors import Guarantee
+from repro.xg.interface import AccelMsg, XGVariant
+
+from tests.helpers import RawAgent
+
+
+# -- plan contract -----------------------------------------------------------------
+
+
+def test_plan_json_round_trip():
+    plan = ROGUE_PLANS["shapeshifter"]
+    clone = RoguePlan.from_json(plan.to_json())
+    assert clone == plan
+    assert clone.moves == plan.moves
+    assert clone.inv_responses == plan.inv_responses
+
+
+def test_plan_reseed_changes_only_seed():
+    plan = ROGUE_PLANS["garbler"].reseed(17)
+    assert plan.seed == 17
+    assert plan.moves == ROGUE_PLANS["garbler"].moves
+    assert ROGUE_PLANS["garbler"].seed == 0, "library entries stay immutable"
+
+
+def test_plan_rejects_unknown_behaviors():
+    with pytest.raises(ValueError):
+        RoguePlan("bad", moves={"quantum_tunnel": 1})
+    with pytest.raises(ValueError):
+        RoguePlan("bad", inv_responses={"sulk": 1})
+
+
+def test_stock_plans_cover_every_move():
+    exercised = set()
+    for plan in ROGUE_PLANS.values():
+        exercised.update(plan.moves)
+    assert exercised == set(ROGUE_MOVES)
+
+
+# -- campaign determinism ----------------------------------------------------------
+
+
+def _short_campaign(plan, **kw):
+    kw.setdefault("duration", 15_000)
+    kw.setdefault("cpu_ops", 200)
+    return run_rogue_campaign(
+        HostProtocol.MESI, XGVariant.FULL_STATE, plan=plan, seed=3, **kw
+    )
+
+
+def test_campaign_is_deterministic():
+    first, _ = _short_campaign("shapeshifter")
+    second, _ = _short_campaign("shapeshifter")
+    assert first.as_dict() == second.as_dict()
+
+
+def test_campaign_replays_from_serialized_plan():
+    result, _ = _short_campaign("replayer")
+    replayed = RoguePlan.from_json(result.plan_json)
+    again, _ = _short_campaign(replayed)
+    assert again.as_dict() == result.as_dict()
+
+
+# -- containment -------------------------------------------------------------------
+
+
+def test_garbler_is_contained_and_malformed_accounted():
+    result, system = _short_campaign("garbler")
+    assert result.contained
+    assert result.containment in CONTAINMENT_OUTCOMES
+    assert result.containment != "escaped"
+    assert result.malformed_rejected > 0
+    assert result.violations.get("G3_MALFORMED", 0) > 0
+    assert result.cpu_loads_checked > 0, "host cores must keep completing"
+    assert system.watchdog.checks > 0
+
+
+def test_flooder_trips_the_ladder():
+    result, _system = _short_campaign("flooder")
+    assert result.contained
+    assert result.containment in ("quarantined", "throttled")
+    assert result.quarantine_state in ("throttled", "disabled")
+
+
+def test_zombie_death_is_absorbed():
+    result, system = _short_campaign("zombie", duration=25_000)
+    assert result.contained
+    assert result.rogue_died
+    assert result.cpu_loads_checked > 0
+    rogue = system.accel_caches[0]
+    assert rogue.died_at is not None
+
+
+def test_watchdog_runs_during_campaigns():
+    result, _system = _short_campaign("spoofer")
+    assert result.watchdog_samples > 0
+    assert result.watchdog_samples == result.watchdog_checks + result.watchdog_skipped
+    assert not result.invariant_violated
+
+
+def test_matrix_rows_are_rectangular_and_contained():
+    rows = run_rogue_matrix(
+        plans=("mute",),
+        hosts=(HostProtocol.MESI,),
+        variants=(XGVariant.FULL_STATE, XGVariant.TRANSACTIONAL),
+        seeds=range(1),
+        duration=15_000,
+        cpu_ops=200,
+    )
+    assert len(rows) == 2
+    for row in rows:
+        assert row["contained"]
+        assert row["containment"] in CONTAINMENT_OUTCOMES
+        assert row["plan"] == "mute"
+        assert row["host"] == "MESI"
+    assert {row["variant"] for row in rows} == {"FULL_STATE", "TRANSACTIONAL"}
+
+
+def test_matrix_rejects_unknown_plan():
+    with pytest.raises(ValueError):
+        run_rogue_matrix(plans=("heisenbug",))
+
+
+# -- XG malformed-message rejection (G3) -------------------------------------------
+
+
+def _xg_with_agent():
+    from repro.xg.errors import XGErrorLog
+    from repro.xg.mesi_xg import MesiCrossingGuard
+    from repro.xg.permissions import PagePermission, PermissionTable
+
+    sim = Simulator(seed=0)
+    host_net = Network(sim, FixedLatency(1), name="host")
+    accel_net = Network(sim, FixedLatency(1), ordered=True, name="accel")
+    xg = MesiCrossingGuard(
+        sim, "xg", host_net, accel_net, "l2",
+        permissions=PermissionTable(default=PagePermission.READ_WRITE),
+        error_log=XGErrorLog(),
+    )
+    host_net.attach(xg)
+    accel_net.attach(xg)
+    l2 = RawAgent(sim, "l2", host_net)
+    accel = RawAgent(sim, "accel", accel_net)
+    xg.attach_accelerator("accel")
+    return sim, xg, l2, accel
+
+
+def test_non_integer_address_rejected_before_alignment():
+    sim, xg, l2, accel = _xg_with_agent()
+    accel.send(AccelMsg.GetM, "0xBAD", "xg", "accel_request")
+    accel.send(AccelMsg.InvAck, None, "xg", "accel_response")
+    sim.run()
+    assert xg.stats.get("malformed_rejected") == 2
+    assert xg.error_log.count(Guarantee.G3_MALFORMED) == 2
+    assert not l2.received, "nothing malformed may reach the host"
+
+
+def test_unknown_message_type_rejected():
+    sim, xg, l2, accel = _xg_with_agent()
+    accel.send("Bogus", 0x4000, "xg", "accel_request")
+    accel.send("Bogus", 0x4000, "xg", "accel_response")
+    sim.run()
+    assert xg.stats.get("malformed_rejected") == 2
+    assert xg.error_log.count(Guarantee.G3_MALFORMED) == 2
+    assert not l2.received
+
+
+def test_putm_without_payload_is_reported_not_crash():
+    sim, xg, l2, accel = _xg_with_agent()
+    accel.send(AccelMsg.GetM, 0x4000, "xg", "accel_request")
+    sim.run()
+    from repro.protocols.mesi.messages import MesiMsg
+
+    from repro.memory.datablock import DataBlock
+
+    grant = DataBlock()
+    grant.write_byte(0, 3)
+    l2.send(MesiMsg.DataM, 0x4000, "xg", "response", data=grant)
+    sim.run()
+    assert accel.of_type(AccelMsg.DataM)
+    accel.send(AccelMsg.PutM, 0x4000, "xg", "accel_request", data=None, dirty=True)
+    sim.run()
+    assert xg.error_log.count(Guarantee.G1A_STABLE_REQUEST) == 1
+    assert xg.tbes.lookup(0x4000) is None
+
+
+# -- accelerator-side Nack tolerance -----------------------------------------------
+
+
+def test_real_accel_l1_ignores_nack():
+    sim = Simulator(seed=0)
+    net = Network(sim, FixedLatency(1), ordered=True, name="accel")
+    l1 = AccelL1(sim, "accel_l1", net, "xg", num_sets=2, assoc=1)
+    net.attach(l1)
+    fake_xg = RawAgent(sim, "xg", net)
+    fake_xg.send(AccelMsg.Nack, 0x4000, "accel_l1", "fromxg")
+    sim.run()
+    assert l1.stats.get("unexpected_from_xg") == 1
+    assert l1.tbes.lookup(0x4000) is None
+
+
+# -- deadlock forensics ------------------------------------------------------------
+
+
+def test_deadlock_diagnosis_names_quarantine_and_rogue_actions():
+    """A hung adversarial run must explain itself: the diagnosis carries
+    the XG quarantine rung and the rogue's recent move log."""
+    from repro.sim.simulator import DeadlockError
+
+    result, system = _short_campaign("shapeshifter")
+    sim = system.sim
+    report = DeadlockError(system.xg, 0, sim.tick, sim=sim).diagnose()
+    assert "-- component forensics --" in report
+    assert "quarantine=" in report
+    assert "rogue plan='shapeshifter'" in report
+    rogue = system.accel_caches[0]
+    assert rogue.recent_actions, "campaign must have produced rogue moves"
+    tick, behavior, _mtype, _addr = rogue.recent_actions[-1]
+    assert f"t={tick} {behavior}" in report
+
+
+# -- golden-run guard --------------------------------------------------------------
+
+
+def test_golden_guard_rejects_rogue_systems():
+    config = SystemConfig(
+        host=HostProtocol.MESI,
+        org=AccelOrg.XG,
+        tags={"adversary": ("rogue", {"addr_pool": [0x1000], "plan": None})},
+    )
+    system = build_system(config)
+    with pytest.raises(AssertionError, match="rogue"):
+        _assert_no_rogue(system)
+
+
+def test_golden_guard_accepts_stock_adversaries():
+    config = SystemConfig(
+        host=HostProtocol.MESI,
+        org=AccelOrg.XG,
+        tags={"adversary": ("flood", {"addr_pool": [0x1000]})},
+    )
+    _assert_no_rogue(build_system(config))
+
+
+def test_watchdog_is_digest_neutral():
+    """The same seeded run digests identically with the watchdog on/off."""
+    from repro.obs import Telemetry
+    from repro.testing.random_tester import RandomTester
+
+    def run(interval):
+        config = SystemConfig(
+            host=HostProtocol.MESI,
+            org=AccelOrg.XG,
+            n_cpus=2,
+            cpu_l1_sets=2,
+            cpu_l1_assoc=1,
+            shared_l2_sets=4,
+            shared_l2_assoc=2,
+            randomize_latencies=True,
+            seed=11,
+            invariant_interval=interval,
+        )
+        system = build_system(config)
+        obs = Telemetry(system.sim)
+        tester = RandomTester(
+            system.sim, system.sequencers, [0x1000 + 64 * i for i in range(4)],
+            ops_target=200, store_fraction=0.45,
+        )
+        tester.run()
+        obs.finalize()
+        return digest_system(system, obs)
+
+    without = run(0)
+    with_watchdog = run(400)
+    assert with_watchdog == without
