@@ -182,7 +182,10 @@ class RogueAccel(Component):
             mtype, addr, sender=self.name, dest=self.xg_name, data=data, dirty=dirty
         )
         self.net.send(msg, port)
-        self.sent_log.append((msg, port))
+        # Log a private clone: the XG releases the delivered instance to
+        # the message pool once consumed, and stale_replay must re-send
+        # the original contents, not whatever the carrier was recycled as.
+        self.sent_log.append((msg.clone(), port))
         self.messages_sent += 1
         self.stats.inc("adversary_msgs")
         self._note(behavior or "emit", mtype, addr)
@@ -292,6 +295,7 @@ class RogueAccel(Component):
             if msg is None:
                 return
             self._handle_from_xg(msg)
+            msg.release()
 
     def _handle_from_xg(self, msg):
         mtype = msg.mtype

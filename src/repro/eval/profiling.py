@@ -58,6 +58,7 @@ class _Ponger(Component):
                     Message(msg.mtype, msg.addr, sender=self.name, dest=self.peer),
                     "inbox",
                 )
+            msg.release()
 
 
 class _Sink(Component):
@@ -76,6 +77,7 @@ class _Sink(Component):
             if msg is None:
                 return
             self.received += 1
+            msg.release()
 
 
 def _timed(sim, **run_kwargs):
@@ -212,6 +214,75 @@ def run_engine_microbench(scale=1, seed=0, trace_depth=0, repeats=3):
         "events": total_events,
         "seconds": total_seconds,
         "events_per_sec": total_events / total_seconds if total_seconds else 0.0,
+    }
+
+
+def alloc_benchmark_report(seed=0, warmup_runs=1):
+    """Steady-state allocation profile of the engine mix (``BENCH_alloc.json``).
+
+    For each synthetic workload this runs ``warmup_runs`` throwaway
+    iterations first — priming the message pool, route caches, counter
+    keys, and string interning — then measures one steady-state run two
+    ways:
+
+    * **net allocated blocks** (``sys.getallocatedblocks`` delta across
+      the run, garbage-collected on both sides): what the run *retained*.
+      With the pooled message/event kernel this is ~0 per event — the
+      headline number the perf gate story rests on;
+    * **tracemalloc** net/peak bytes in a second pass (tracemalloc skews
+      block counts, so it never overlaps the block measurement);
+    * **gen-0 GC collections** during the run: transient container churn
+      (tuples, argument frames) that never survives a collection.
+    """
+    import gc
+    import sys
+    import tracemalloc
+
+    from repro.sim.message import pool_stats
+
+    workloads = {}
+    for name, fn in ENGINE_WORKLOADS.items():
+        for _ in range(max(1, warmup_runs)):
+            fn(seed=seed)
+        gc.collect()
+        gen0_before = gc.get_stats()[0]["collections"]
+        blocks_before = sys.getallocatedblocks()
+        row = fn(seed=seed)
+        gen0_during = gc.get_stats()[0]["collections"] - gen0_before
+        events = row["events"]
+        messages = row["messages"]
+        del row  # drop the report dict before the closing measurement
+        gc.collect()
+        net_blocks = sys.getallocatedblocks() - blocks_before
+
+        tracemalloc.start()
+        traced_before, _ = tracemalloc.get_traced_memory()
+        if hasattr(tracemalloc, "reset_peak"):
+            tracemalloc.reset_peak()
+        fn(seed=seed)
+        traced_after, traced_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        workloads[name] = {
+            "events": events,
+            "messages": messages,
+            "net_blocks": net_blocks,
+            "net_blocks_per_event": net_blocks / events if events else 0.0,
+            "gc_gen0_collections": gen0_during,
+            "traced_net_bytes": traced_after - traced_before,
+            "traced_peak_bytes": traced_peak,
+        }
+    worst = max(
+        abs(w["net_blocks_per_event"]) for w in workloads.values()
+    )
+    return {
+        "bench": "alloc_steady_state",
+        "unit": "net_blocks_per_event",
+        "seed": seed,
+        "warmup_runs": warmup_runs,
+        "workloads": workloads,
+        "worst_net_blocks_per_event": worst,
+        "pool": pool_stats(),
     }
 
 

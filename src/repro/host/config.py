@@ -88,6 +88,10 @@ class SystemConfig:
     # forensic trace-ring depth; 0 disables recording entirely (fast
     # campaign mode — replay the seed with a nonzero depth for forensics)
     trace_depth: int = 64
+    # message-pool debug mode: released messages are poisoned and a
+    # double release raises (repro.sim.message.set_pool_debug). Global,
+    # like the pool — the most recently built system wins.
+    pool_debug: bool = False
 
     # set True by the stress harness: random message latencies
     randomize_latencies: bool = False

@@ -30,6 +30,8 @@ class MessageBuffer:
     #: the list (amortized O(1) per pop, bounded memory on busy ports).
     TRIM_MIN = 64
 
+    __slots__ = ("name", "_entries", "_head", "_seq", "_front_seq")
+
     def __init__(self, name=""):
         self.name = name
         self._entries = []
@@ -72,25 +74,29 @@ class MessageBuffer:
         """Head message if it has arrived by ``now``, else None."""
         entries = self._entries
         head = self._head
-        if head < len(entries) and entries[head][0] <= now:
-            return entries[head][2]
+        if head < len(entries):
+            entry = entries[head]
+            if entry[0] <= now:
+                return entry[2]
         return None
 
     def pop(self, now):
         """Remove and return the head message if arrived, else None."""
         entries = self._entries
         head = self._head
-        if head < len(entries) and entries[head][0] <= now:
-            msg = entries[head][2]
-            head += 1
-            if head == len(entries):
-                entries.clear()
-                head = 0
-            elif head >= self.TRIM_MIN and head * 2 >= len(entries):
-                del entries[:head]
-                head = 0
-            self._head = head
-            return msg
+        n = len(entries)
+        if head < n:
+            entry = entries[head]
+            if entry[0] <= now:
+                head += 1
+                if head == n:
+                    entries.clear()
+                    head = 0
+                elif head >= self.TRIM_MIN and head * 2 >= n:
+                    del entries[:head]
+                    head = 0
+                self._head = head
+                return entry[2]
         return None
 
     def next_arrival_tick(self):
@@ -154,7 +160,12 @@ class Component:
         # ports are fixed at construction; cache the buffers for the
         # per-wakeup scans below
         self._port_buffers = tuple(self.in_ports.values())
-        self._wakeup_event = None
+        # One outstanding wakeup max, tracked as (tick, cancel token) ints
+        # on the queue's allocation-free schedule_cb path. ``None`` tick
+        # means no wakeup is pending.
+        self._wakeup_tick = None
+        self._wakeup_token = 0
+        self._wakeup_cb = self._wakeup_wrapper
         sim.register(self)
 
     # -- message delivery (called by the network) ---------------------------
@@ -173,21 +184,26 @@ class Component:
         wakeups that reschedule themselves (e.g. rate-limiter retries)
         compound into an event storm.
         """
+        pending = self._wakeup_tick
+        if pending is not None and tick is not None and pending <= tick:
+            # Fast absorb: a pending wakeup is never in the past, so it
+            # also absorbs any request that clamping would only raise.
+            return
         sim = self.sim
         now = sim.tick
         if tick is None or tick < now:
             tick = now
-        pending = self._wakeup_event
-        if pending is not None and not pending.cancelled:
-            if pending.tick <= tick:
+        if pending is not None:
+            if pending <= tick:
                 return
-            pending.cancel()
+            sim.events.cancel_token(self._wakeup_token)
         # tick is clamped >= now, so schedule_at's validation is redundant;
         # go straight to the event queue (this path fires per delivery)
-        self._wakeup_event = sim.events.schedule(tick, self._wakeup_wrapper)
+        self._wakeup_tick = tick
+        self._wakeup_token = sim.events.schedule_cb(tick, self._wakeup_cb)
 
     def _wakeup_wrapper(self):
-        self._wakeup_event = None
+        self._wakeup_tick = None
         self.wakeup()
         # If messages remain that arrive in the future, wake again then.
         # Visible-but-unconsumed (RETRYing) messages must not mask them.

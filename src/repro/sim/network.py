@@ -10,6 +10,8 @@ port. Ordered networks enforce FIFO per (sender, dest, port) by clamping
 each arrival tick to be >= the previous arrival on that lane.
 """
 
+from bisect import insort
+
 
 class FixedLatency:
     """Constant message latency."""
@@ -34,9 +36,14 @@ class RandomLatency:
             raise ValueError(f"need 1 <= lo <= hi, got [{lo}, {hi}]")
         self.lo = lo
         self.hi = hi
+        self._span = hi - lo + 1
 
     def sample(self, rng):
-        return rng.randint(self.lo, self.hi)
+        # Equivalent to rng.randint(lo, hi) — for int bounds randint
+        # reduces to start + _randbelow(width) — but skips the
+        # randint/randrange frames and their operator.index calls. The
+        # draw sequence is bit-identical, which golden digests rely on.
+        return self.lo + rng._randbelow(self._span)
 
     def __repr__(self):
         return f"RandomLatency({self.lo}, {self.hi})"
@@ -86,6 +93,9 @@ class Network:
         # FixedLatency is the overwhelmingly common model; resolve it to a
         # constant so the per-send sample() call disappears.
         self._fixed_latency = latency.latency if isinstance(latency, FixedLatency) else None
+        # sim.events is assigned once in Simulator.__init__; bind it here
+        # to save two attribute loads per delivery.
+        self._events = sim.events
         sim.register_network(self)
 
     def attach(self, component):
@@ -193,9 +203,70 @@ class Network:
                     # trailing the original by at least one tick.
                     self._deliver_one(dest, buf, msg.clone(), arrival + 1, note="dup")
                     return arrival
-        return self._deliver_one(dest, buf, msg, arrival)
+        # ---- delivery, hand-inlined (see _deliver_one for the readable
+        # version; the two must stay behaviorally identical). One message
+        # costs zero extra Python frames beyond schedule_cb from here on.
+        # try/except counter bumps lean on 3.11's zero-cost exceptions:
+        # the KeyError path runs once per counter name, ever.
+        if self.ordered:
+            lane = (msg.sender, msg.dest)
+            last = self._last_arrival
+            try:
+                previous = last[lane]
+                if arrival <= previous:
+                    arrival = previous + 1
+            except KeyError:
+                pass
+            last[lane] = arrival
+        counters = self._counters
+        if counters is not None:
+            try:
+                counters["messages"] += 1
+            except KeyError:
+                counters["messages"] = 1
+            mtype = msg.mtype
+            key = self._mtype_keys.get(mtype)
+            if key is None:
+                key = f"msg.{getattr(mtype, 'name', mtype)}"
+                self._mtype_keys[mtype] = key
+            try:
+                counters[key] += 1
+            except KeyError:
+                counters[key] = 1
+            if msg.data is not None:
+                try:
+                    counters["data_messages"] += 1
+                except KeyError:
+                    counters["data_messages"] = 1
+        if sim.trace is not None:
+            sim.record_trace(self.name, msg, note="")
+        # inlined MessageBuffer.enqueue (append fast path; arrivals on a
+        # lane are non-decreasing, so out-of-order insort is the rare case)
+        seq = buf._seq + 1
+        buf._seq = seq
+        entries = buf._entries
+        if not entries or entries[-1][0] <= arrival:
+            entries.append((arrival, seq, msg))
+        else:
+            insort(entries, (arrival, seq, msg), lo=buf._head)
+        # inlined Component.request_wakeup with same-tick coalescing:
+        # latency >= 1 guarantees arrival > now, so no clamp is needed,
+        # and an equal-or-earlier pending wakeup absorbs this delivery.
+        pending = dest._wakeup_tick
+        if pending is None:
+            dest._wakeup_tick = arrival
+            dest._wakeup_token = self._events.schedule_cb(arrival, dest._wakeup_cb)
+        elif pending > arrival:
+            events = self._events
+            events.cancel_token(dest._wakeup_token)
+            dest._wakeup_tick = arrival
+            dest._wakeup_token = events.schedule_cb(arrival, dest._wakeup_cb)
+        return arrival
 
     def _deliver_one(self, dest, buf, msg, arrival, note=""):
+        # Readable reference copy of the delivery tail hand-inlined at the
+        # bottom of send(); only fault paths (duplicate delivery) and
+        # subclasses route through here. Keep the two in sync.
         if self.ordered:
             # One serial lane per (sender, dest) pair across ALL ports:
             # the paper's ordered accel link must keep a Put ordered ahead
@@ -221,9 +292,13 @@ class Network:
         sim = self.sim
         if sim.trace is not None:
             sim.record_trace(self.name, msg, note=note)
-        # inlined Component.deliver: the buffer came from the route cache
+        # inlined Component.deliver: the buffer came from the route cache.
+        # Same-tick deliveries coalesce onto one pending wakeup — only a
+        # strictly earlier arrival needs the full request_wakeup path.
         buf.enqueue(arrival, msg)
-        dest.request_wakeup(arrival)
+        pending = dest._wakeup_tick
+        if pending is None or pending > arrival:
+            dest.request_wakeup(arrival)
         return arrival
 
     def broadcast(self, msg_factory, dests, port, delay=0):

@@ -6,10 +6,11 @@ on: a *deadlock* is a visible message that no controller consumes for
 host-side components when Crossing Guard is in place.
 """
 
+import heapq
 import random
 from collections import deque
 
-from repro.sim.event import EventQueue
+from repro.sim.event import Event, EventQueue
 from repro.sim.stats import NULL_STATS, Stats
 
 
@@ -197,52 +198,129 @@ class Simulator:
         next_monitor = None
         if self.monitors:
             next_monitor = min(m.next_due(self.tick) for m in self.monitors)
-        pop = self.events.pop
+        # Both loops drain the queue bucket-at-a-time over its internals:
+        # one heap consultation per distinct tick, then a straight-line
+        # sweep over that tick's FIFO of slots. Same-tick work scheduled
+        # mid-sweep appends to the live bucket (len() is re-read each
+        # iteration), so insertion order within a tick is preserved.
+        events = self.events
+        heap = events._heap
+        buckets = events._buckets
+        objs = events._objs
+        gens = events._gens
+        free = events._free
+        heappop = heapq.heappop
         if (max_ticks is None and max_events is None and next_check is None
                 and next_monitor is None):
             # Unlimited drain with no watchdog/monitors: the per-event
-            # limit checks can never trigger, so run the stripped loop
-            # (the heap already guarantees monotonic ticks — pop order is
-            # its invariant).
+            # limit checks can never trigger, so run the stripped loop.
             try:
                 while True:
-                    event = pop()
-                    if event is None:
-                        if final_check:
-                            self._check_deadlock(final=True)
-                        return "idle"
-                    self.tick = event.tick
-                    event.callback(*event.args)
-                    fired += 1
+                    # peek_tick retires stale tick entries and leading
+                    # tombstones, so a returned tick's bucket is guaranteed
+                    # to open on a live event — the clock never advances
+                    # for cancelled-only work.
+                    t = events.peek_tick()
+                    if t is None:
+                        break
+                    bucket = buckets[t]
+                    self.tick = t
+                    events._draining_tick = t
+                    try:
+                        # bucket[0] is the authoritative head — a callback
+                        # may advance it (peek_tick retiring tombstones
+                        # mid-drain), so re-read it every iteration.
+                        while True:
+                            i = bucket[0]
+                            if i >= len(bucket):
+                                break
+                            slot = bucket[i]
+                            bucket[0] = i + 1
+                            obj = objs[slot]
+                            if obj is None:
+                                events._cancelled -= 1
+                                gens[slot] += 1
+                                free.append(slot)
+                                continue
+                            objs[slot] = None
+                            gens[slot] += 1
+                            free.append(slot)
+                            events._live -= 1
+                            if type(obj) is Event:
+                                obj._queue = None
+                                if not obj.cancelled:
+                                    obj.callback(*obj.args)
+                            else:
+                                obj()
+                            fired += 1
+                    finally:
+                        events._draining_tick = None
+                    del buckets[t]
+                    # a callback may have compacted the heap or scheduled a
+                    # past tick; only pop our entry if it is still on top
+                    if heap and heap[0] == t:
+                        heappop(heap)
+                if final_check:
+                    self._check_deadlock(final=True)
+                return "idle"
             finally:
                 self._events_fired += fired
         try:
             while True:
-                event = pop()
-                if event is None:
+                t = events.peek_tick()
+                if t is None:
                     if final_check:
                         self._check_deadlock(final=True)
                         self._run_monitors(final=True)
                     return "idle"
-                tick = event.tick
-                if max_ticks is not None and tick > max_ticks:
-                    # put it back conceptually: we simply stop; tick freezes at limit
-                    self.events.schedule(tick, event.callback, *event.args)
+                if max_ticks is not None and t > max_ticks:
+                    # stop *before* the bucket: tick freezes at the limit and
+                    # the pending work stays queued for a later run()
                     self.tick = max_ticks
                     return "max_ticks"
-                if tick < self.tick:
+                if t < self.tick:
                     raise AssertionError("event queue went backwards in time")
-                self.tick = tick
-                # pop() never returns cancelled events; call directly
-                event.callback(*event.args)
-                fired += 1
-                if max_events is not None and fired >= max_events:
-                    return "max_events"
-                if next_check is not None and tick >= next_check:
-                    self._check_deadlock(final=False)
-                    next_check = tick + check_interval
-                if next_monitor is not None and tick >= next_monitor:
-                    next_monitor = self._run_monitors(final=False)
+                bucket = buckets[t]
+                self.tick = t
+                events._draining_tick = t
+                try:
+                    while True:
+                        i = bucket[0]
+                        if i >= len(bucket):
+                            break
+                        slot = bucket[i]
+                        bucket[0] = i + 1
+                        obj = objs[slot]
+                        if obj is None:
+                            events._cancelled -= 1
+                            gens[slot] += 1
+                            free.append(slot)
+                            continue
+                        objs[slot] = None
+                        gens[slot] += 1
+                        free.append(slot)
+                        events._live -= 1
+                        if type(obj) is Event:
+                            obj._queue = None
+                            if not obj.cancelled:
+                                obj.callback(*obj.args)
+                        else:
+                            obj()
+                        fired += 1
+                        if max_events is not None and fired >= max_events:
+                            # head index persists in bucket[0]; a later run()
+                            # resumes mid-bucket exactly where we stopped
+                            return "max_events"
+                        if next_check is not None and t >= next_check:
+                            self._check_deadlock(final=False)
+                            next_check = t + check_interval
+                        if next_monitor is not None and t >= next_monitor:
+                            next_monitor = self._run_monitors(final=False)
+                finally:
+                    events._draining_tick = None
+                del buckets[t]
+                if heap and heap[0] == t:
+                    heappop(heap)
         finally:
             self._events_fired += fired
 

@@ -9,6 +9,32 @@ reproduction's development, promoted to a first-class utility.
 from repro.memory.datablock import block_align
 
 
+class _MsgSnapshot:
+    """Immutable view of a message at record time.
+
+    Tracer rings outlive the messages they observe — the live carriers
+    are recycled through the pool once consumed — so entries snapshot
+    the fields queries and formatting need instead of holding the
+    (mutable, reusable) instance.
+    """
+
+    __slots__ = ("mtype", "addr", "sender", "dest", "requestor", "uid", "dirty")
+
+    def __init__(self, msg):
+        self.mtype = msg.mtype
+        self.addr = msg.addr
+        self.sender = msg.sender
+        self.dest = msg.dest
+        self.requestor = msg.requestor
+        self.uid = msg.uid
+        self.dirty = msg.dirty
+
+    def __repr__(self):
+        mname = getattr(self.mtype, "name", self.mtype)
+        addr_s = f"{self.addr:#x}" if isinstance(self.addr, int) else str(self.addr)
+        return f"Message({mname}, addr={addr_s}, {self.sender}->{self.dest})"
+
+
 class TraceEntry:
     __slots__ = ("tick", "network", "port", "msg")
 
@@ -16,7 +42,7 @@ class TraceEntry:
         self.tick = tick
         self.network = network
         self.port = port
-        self.msg = msg
+        self.msg = _MsgSnapshot(msg)
 
     def __repr__(self):
         return f"[{self.tick:>8}] {self.network:<6} {self.port:<14} {self.msg}"

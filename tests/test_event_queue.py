@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.event import EventQueue
+from repro.sim.event import Event, EventQueue
 
 
 def test_events_fire_in_tick_order():
@@ -71,3 +71,125 @@ def test_empty_queue_pop_returns_none():
     assert queue.pop() is None
     assert queue.peek_tick() is None
     assert not queue
+
+
+def test_tie_break_is_insertion_order_not_event_comparison():
+    """Same-tick ordering comes from bucket FIFO position alone.
+
+    The tuple-heap queue needed an ``Event.__lt__`` for heap pushes; the
+    bucketed queue orders bare tick ints and must never compare Event
+    objects. This pins both halves: the comparator stays deleted, and
+    insertion order survives a mix of schedule()/schedule_cb() entries
+    plus an interleaved cancellation.
+    """
+    assert "__lt__" not in Event.__dict__
+
+    queue = EventQueue()
+    fired = []
+    queue.schedule(7, fired.append, "a")
+    queue.schedule_cb(7, lambda: fired.append("b"))
+    dropped = queue.schedule(7, fired.append, "DROPPED")
+    queue.schedule(7, fired.append, "c")
+    queue.schedule_cb(7, lambda: fired.append("d"))
+    dropped.cancel()
+    while queue:
+        queue.pop().fire()
+    assert fired == ["a", "b", "c", "d"]
+
+
+def test_schedule_cb_token_cancels_and_goes_stale():
+    queue = EventQueue()
+    fired = []
+    token = queue.schedule_cb(3, lambda: fired.append("x"))
+    assert queue.cancel_token(token)
+    assert not queue.cancel_token(token), "second cancel must be a stale no-op"
+    assert queue.pop() is None
+    assert fired == []
+
+
+def test_token_goes_stale_after_fire():
+    queue = EventQueue()
+    fired = []
+    token = queue.schedule_cb(1, lambda: fired.append("x"))
+    queue.pop().fire()
+    assert fired == ["x"]
+    # The slot's generation was bumped when it fired; the token must not
+    # cancel whatever reuses the slot next.
+    assert not queue.cancel_token(token)
+    relay = queue.schedule_cb(2, lambda: fired.append("y"))
+    assert not queue.cancel_token(token)
+    queue.pop().fire()
+    assert fired == ["x", "y"]
+    assert queue.cancel_token(relay) is False
+
+
+def test_peek_tick_retires_tombstones_with_cancel_accounting():
+    """peek_tick's garbage sweep uses the same bookkeeping as pop/compact:
+    tombstones it walks past are freed, their generation bumped, and the
+    cancelled count decremented — not just skipped."""
+    queue = EventQueue()
+    first = queue.schedule(5, lambda: None)
+    second = queue.schedule(5, lambda: None)
+    queue.schedule(9, lambda: None)
+    first.cancel()
+    second.cancel()
+    assert queue._cancelled == 2
+    free_before = len(queue._free)
+    assert queue.peek_tick() == 9
+    # Both leading tombstones were retired, not merely stepped over.
+    assert queue._cancelled == 0
+    assert len(queue._free) == free_before + 2
+    assert len(queue) == 1
+
+
+def test_peek_tick_garbage_sweep_keeps_later_events():
+    queue = EventQueue()
+    cancelled = [queue.schedule(2, lambda: None) for _ in range(4)]
+    keep = queue.schedule(2, lambda: None)
+    for event in cancelled:
+        event.cancel()
+    assert queue.peek_tick() == 2
+    assert queue._cancelled == 0
+    popped = queue.pop()
+    assert popped is keep
+    assert queue.pop() is None
+
+
+def test_compaction_drops_tombstones_and_preserves_order():
+    queue = EventQueue()
+    fired = []
+    keepers = []
+    victims = []
+    for i in range(200):
+        target = keepers if i % 4 == 0 else victims
+        target.append(queue.schedule(10 + (i % 7), fired.append, i))
+    for event in victims:
+        event.cancel()
+    # Cancelling 150 of 200 crossed the garbage threshold (tombstones
+    # may never outnumber live events for long): most were compacted
+    # away, and live/garbage accounting stayed exact throughout.
+    assert queue._cancelled < len(victims) // 2
+    assert len(queue) == len(keepers)
+    while queue:
+        queue.pop().fire()
+    # Draining retired the residual tombstones through the same books.
+    assert queue._cancelled == 0
+    assert queue.pop() is None
+    expected = sorted(
+        (event.tick, position, event.args[0])
+        for position, event in enumerate(keepers)
+    )
+    assert fired == [value for _tick, _pos, value in expected]
+
+
+def test_cancelled_only_queue_is_falsy_but_slots_recycle():
+    queue = EventQueue()
+    events = [queue.schedule(4, lambda: None) for _ in range(3)]
+    for event in events:
+        event.cancel()
+    assert not queue
+    assert len(queue) == 0
+    # The swept slots are reusable immediately.
+    token = queue.schedule_cb(6, lambda: None)
+    assert len(queue) == 1
+    assert queue.cancel_token(token)

@@ -1,0 +1,152 @@
+"""Message-pool lifecycle tests: recycling, generations, debug poisoning.
+
+The pool is module-global state, so every test drains it first for a
+deterministic starting point and restores debug mode on the way out.
+"""
+
+import pytest
+
+from repro.memory.datablock import DataBlock
+from repro.sim import message as message_mod
+from repro.sim.message import Message, PoolError, pool_stats, set_pool_debug
+
+
+@pytest.fixture(autouse=True)
+def clean_pool():
+    message_mod._POOL.clear()
+    set_pool_debug(False)
+    yield
+    message_mod._POOL.clear()
+    set_pool_debug(False)
+
+
+def test_release_recycles_the_instance():
+    msg = Message("probe", 0x40, sender="a", dest="b")
+    msg.release()
+    assert pool_stats()["free"] == 1
+    recycled = Message("other", 0x80, sender="c", dest="d")
+    assert recycled is msg, "construction must reuse the pooled carrier"
+    assert pool_stats()["free"] == 0
+    assert recycled.mtype == "other"
+    assert recycled.addr == 0x80
+    assert recycled.sender == "c"
+    assert recycled.data is None
+    assert recycled._pooled is False
+
+
+def test_uid_stream_is_dense_and_deterministic_under_recycling():
+    """Recycled construction draws uids exactly like fresh construction."""
+    first = Message("m", 0)
+    start = first.uid
+    first.release()
+    uids = []
+    for _ in range(10):
+        msg = Message("m", 0)
+        uids.append(msg.uid)
+        msg.release()
+    assert uids == list(range(start + 1, start + 11))
+
+
+def test_release_clears_payload_references():
+    block = DataBlock(fill=0xAB)
+    msg = Message("data", 0x40, data=block, requestor="seq0", value=7)
+    msg.release()
+    assert msg.data is None
+    assert msg.requestor is None
+    assert msg.value is None
+
+
+def test_double_release_is_silent_noop_without_debug():
+    msg = Message("m", 0)
+    msg.release()
+    msg.release()  # no error, and crucially no duplicate pool entry
+    assert pool_stats()["free"] == 1
+
+
+def test_double_release_raises_under_pool_debug():
+    set_pool_debug(True)
+    msg = Message("m", 0)
+    msg.release()
+    with pytest.raises(PoolError):
+        msg.release()
+    assert pool_stats()["free"] == 1
+
+
+def test_released_fields_are_poisoned_under_pool_debug():
+    set_pool_debug(True)
+    msg = Message("m", 0x40, sender="a", dest="b")
+    msg.release()
+    with pytest.raises(PoolError):
+        bool(msg.mtype)
+    with pytest.raises(PoolError):
+        bool(msg.dest)
+    # Reconstruction un-poisons: the next Message() is fully usable.
+    fresh = Message("clean", 0x80, sender="x", dest="y")
+    assert fresh is msg
+    assert fresh.mtype == "clean"
+    assert fresh.dest == "y"
+
+
+def test_generation_counter_detects_stale_holds():
+    msg = Message("m", 0x40)
+    held_gen = msg.gen
+    assert msg.gen == held_gen  # holder snapshots (msg, gen)
+    msg.release()
+    assert msg.gen == held_gen + 1, "release bumps the carrier generation"
+    recycled = Message("m2", 0x80)
+    assert recycled is msg
+    # The stale holder's snapshot no longer matches: it must not trust
+    # the fields it can still reach through its reference.
+    assert recycled.gen != held_gen
+
+
+def test_clone_keeps_uid_and_burns_no_counter_values():
+    original = Message("fwd", 0x40, sender="a", dest="b", ack_count=3)
+    dup = original.clone()
+    assert dup is not original
+    assert dup.uid == original.uid
+    assert dup.mtype == original.mtype
+    assert dup.ack_count == original.ack_count
+    # The global uid counter did not advance for the clone: the next
+    # real message is uid-adjacent to the original.
+    follow_up = Message("m", 0)
+    assert follow_up.uid == original.uid + 1
+
+
+def test_clone_payload_is_private():
+    block = DataBlock(fill=0x11)
+    original = Message("data", 0x40, data=block)
+    dup = original.clone()
+    assert dup.data is not original.data
+    dup.data.write_byte(0, 0xFF)
+    assert original.data.read_byte(0) == 0x11
+
+
+def test_clone_of_recycled_carrier_is_independent():
+    original = Message("m", 0x40, sender="a", dest="b")
+    dup = original.clone()
+    original.release()
+    reused = Message("other", 0x80, sender="x", dest="y")
+    assert reused is original
+    # The clone is untouched by its original's recycling.
+    assert dup.mtype == "m"
+    assert dup.sender == "a"
+    assert dup._pooled is False
+
+
+def test_pool_respects_capacity_cap():
+    cap = message_mod._POOL_MAX
+    messages = [Message("m", 0) for _ in range(cap + 50)]
+    for msg in messages:
+        msg.release()
+    assert pool_stats()["free"] == cap
+
+
+def test_system_config_plumbs_pool_debug():
+    from repro.host.config import SystemConfig
+    from repro.host.system import build_system
+
+    build_system(SystemConfig(pool_debug=True))
+    assert pool_stats()["debug"] is True
+    build_system(SystemConfig())
+    assert pool_stats()["debug"] is False

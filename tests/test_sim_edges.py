@@ -125,10 +125,16 @@ def test_event_cancel_via_component_wakeup_dedup():
 
     sink = Sink(sim, "s")
     sink.request_wakeup(100)
-    first_event = sink._wakeup_event
+    first_token = sink._wakeup_token
+    assert len(sim.events) == 1
     sink.request_wakeup(50)
-    assert first_event.cancelled
+    # the tick-100 entry was cancelled: its token is stale and the queue
+    # holds exactly one live event again
+    assert not sim.events.cancel_token(first_token)
+    assert len(sim.events) == 1
     sink.request_wakeup(70)  # later than pending: absorbed
-    assert sink._wakeup_event.tick == 50
+    assert sink._wakeup_tick == 50
+    assert len(sim.events) == 1
     sim.run()
     assert Sink.wakeups == 1
+    assert sim.tick == 50
