@@ -10,6 +10,8 @@ Commands:
   variants) with the online invariant watchdog armed;
 * ``trace``       — traced chaos run exported as Chrome/Perfetto JSON;
 * ``report``      — telemetry-on stress: coverage heatmap + span percentiles;
+* ``top``         — live campaign view: stress sweep under the telemetry
+  fabric with per-worker throughput/heartbeats, then the fabric summary;
 * ``bench``       — engine events/sec microbenchmark + campaign wall-clock;
 * ``golden``      — golden-run digests: verify against the committed file,
   prove compiled/legacy dispatch equivalence, or refresh with ``--update``;
@@ -20,8 +22,38 @@ Commands:
 
 import argparse
 import sys
+from contextlib import ExitStack
 
 from repro.eval.report import format_error_log, format_table
+
+
+def _add_live_args(cmd):
+    """``--live``/``--live-interval`` knobs shared by campaign commands."""
+    cmd.add_argument("--live", action="store_true",
+                     help="stream live campaign progress (per-worker "
+                          "throughput, heartbeats, coverage growth); "
+                          "degrades to periodic plain lines off a TTY")
+    cmd.add_argument("--live-interval", dest="live_interval", type=float,
+                     default=1.0, metavar="SECONDS",
+                     help="seconds between live progress updates")
+
+
+def _single_run_fabric(stack, args, label):
+    """Bring up the fabric for a single-run command when ``--live`` is set.
+
+    fuzz/chaos run one simulation in-process rather than a campaign, so
+    the fabric is framed as a one-job session: collector + in-process
+    emitter + progress hook, torn down when ``stack`` unwinds.
+    """
+    if not getattr(args, "live", False):
+        return None
+    from repro.obs.fabric import inproc_session, live_fabric
+
+    fabric = stack.enter_context(
+        live_fabric(live=True, interval=args.live_interval)
+    )
+    stack.enter_context(inproc_session(fabric, label=label))
+    return fabric
 
 
 def _cmd_demo(args):
@@ -60,13 +92,20 @@ def _cmd_stress(args):
 
     from repro.eval.campaign import resolve_workers
     from repro.eval.experiments import run_stress_coverage
+    from repro.obs.fabric import live_fabric
 
     workers = resolve_workers(args.workers)
     start = time.perf_counter()
-    result = run_stress_coverage(
-        seeds=range(args.seeds), ops_per_run=args.ops, workers=workers
-    )
+    with live_fabric(live=args.live, interval=args.live_interval) as fabric:
+        result = run_stress_coverage(
+            seeds=range(args.seeds), ops_per_run=args.ops, workers=workers
+        )
     elapsed = time.perf_counter() - start
+    if fabric is not None and args.dash_out:
+        from repro.eval.report import write_campaign_dashboard
+
+        write_campaign_dashboard(args.dash_out, fabric.summary())
+        print(f"wrote {args.dash_out}")
     failures = [r for r in result["runs"] if not r["passed"]]
     print(
         format_table(
@@ -247,14 +286,19 @@ def _cmd_fuzz(args):
     from repro.testing.fuzzer import run_fuzz_campaign
     from repro.xg.interface import XGVariant
 
-    result, _system = run_fuzz_campaign(
-        HostProtocol[args.host.upper()],
-        XGVariant[args.variant.upper()],
-        adversary=args.adversary,
-        seed=args.seed,
-        duration=args.duration,
-        cpu_ops=args.cpu_ops,
-    )
+    with ExitStack() as stack:
+        _single_run_fabric(
+            stack, args,
+            label=f"fuzz/{args.host}/{args.variant}/{args.adversary}",
+        )
+        result, _system = run_fuzz_campaign(
+            HostProtocol[args.host.upper()],
+            XGVariant[args.variant.upper()],
+            adversary=args.adversary,
+            seed=args.seed,
+            duration=args.duration,
+            cpu_ops=args.cpu_ops,
+        )
     report = result.as_dict()
     for key in (
         "host_safe", "adversary_messages", "violations_total",
@@ -285,20 +329,25 @@ def _cmd_chaos(args):
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    result, system = run_chaos_campaign(
-        HostProtocol[args.host.upper()],
-        XGVariant[args.variant.upper()],
-        faults=rates,
-        windows=windows,
-        adversary=args.adversary,
-        seed=args.seed,
-        fault_seed=args.fault_seed,
-        duration=args.duration,
-        cpu_ops=args.cpu_ops,
-        accel_timeout=args.accel_timeout,
-        probe_retries=args.probe_retries,
-        disable_after=args.disable_after,
-    )
+    with ExitStack() as stack:
+        _single_run_fabric(
+            stack, args,
+            label=f"chaos/{args.host}/{args.variant}/{args.adversary}",
+        )
+        result, system = run_chaos_campaign(
+            HostProtocol[args.host.upper()],
+            XGVariant[args.variant.upper()],
+            faults=rates,
+            windows=windows,
+            adversary=args.adversary,
+            seed=args.seed,
+            fault_seed=args.fault_seed,
+            duration=args.duration,
+            cpu_ops=args.cpu_ops,
+            accel_timeout=args.accel_timeout,
+            probe_retries=args.probe_retries,
+            disable_after=args.disable_after,
+        )
     report = result.as_dict()
     for key in (
         "host_safe", "final_tick", "cpu_loads_checked", "adversary_messages",
@@ -343,19 +392,22 @@ def _cmd_rogue(args):
     except KeyError as exc:
         print(f"error: unknown host or variant {exc.args[0]!r}", file=sys.stderr)
         return 2
+    from repro.obs.fabric import live_fabric
+
     workers = resolve_workers(args.workers)
     start = time.perf_counter()
     try:
-        rows = run_rogue_matrix(
-            plans=plans,
-            hosts=hosts,
-            variants=variants,
-            seeds=range(args.seeds),
-            duration=args.duration,
-            cpu_ops=args.cpu_ops,
-            invariant_interval=args.invariant_interval,
-            workers=workers,
-        )
+        with live_fabric(live=args.live, interval=args.live_interval):
+            rows = run_rogue_matrix(
+                plans=plans,
+                hosts=hosts,
+                variants=variants,
+                seeds=range(args.seeds),
+                duration=args.duration,
+                cpu_ops=args.cpu_ops,
+                invariant_interval=args.invariant_interval,
+                workers=workers,
+            )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -456,6 +508,30 @@ def _cmd_report(args):
     for failure in failures:
         print("FAIL:", failure["config"], "seed", failure["seed"], failure["detail"])
     return 1 if failures else 0
+
+
+def _cmd_top(args):
+    from repro.eval.campaign import resolve_workers
+    from repro.eval.experiments import run_stress_coverage
+    from repro.eval.report import format_fabric_summary, write_campaign_dashboard
+    from repro.obs.fabric import live_fabric
+
+    workers = resolve_workers(args.workers)
+    with live_fabric(live=True, interval=args.live_interval) as fabric:
+        result = run_stress_coverage(
+            seeds=range(args.seeds), ops_per_run=args.ops, workers=workers
+        )
+    summary = fabric.summary()
+    print()
+    print(format_fabric_summary(summary))
+    if args.dash_out:
+        write_campaign_dashboard(args.dash_out, summary)
+        print(f"\nwrote {args.dash_out}")
+    failures = [r for r in result["runs"] if not r["passed"]]
+    for failure in failures:
+        print("FAIL:", failure["config"], "seed", failure["seed"],
+              failure["detail"])
+    return 1 if failures or summary["jobs_lost"] else 0
 
 
 def _cmd_verify(args):
@@ -621,6 +697,11 @@ def build_parser():
     stress.add_argument("--workers", type=int, default=None,
                         help="parallel campaign processes (default: cpu count; "
                              "1 = in-process, best for debugging)")
+    _add_live_args(stress)
+    stress.add_argument("--dash-out", dest="dash_out", default=None,
+                        metavar="PATH",
+                        help="with --live, write the campaign_dash.json "
+                             "fabric summary + BENCH_*.json history here")
     stress.set_defaults(fn=_cmd_stress)
 
     bench = sub.add_parser("bench", help="engine events/sec + campaign wall-clock")
@@ -678,6 +759,7 @@ def build_parser():
     fuzz.add_argument("--cpu-ops", dest="cpu_ops", type=int, default=1000)
     fuzz.add_argument("--show-errors", dest="show_errors", type=int, default=10,
                       help="OS error-log records to print")
+    _add_live_args(fuzz)
     fuzz.set_defaults(fn=_cmd_fuzz)
 
     chaos = sub.add_parser(
@@ -705,6 +787,7 @@ def build_parser():
                        help="quarantine the accelerator after N violations")
     chaos.add_argument("--show-errors", dest="show_errors", type=int, default=10,
                        help="OS error-log records to print")
+    _add_live_args(chaos)
     chaos.set_defaults(fn=_cmd_chaos)
 
     rogue = sub.add_parser(
@@ -726,6 +809,7 @@ def build_parser():
                        help="parallel campaign processes (default: cpu count)")
     rogue.add_argument("-o", "--out", default=None, metavar="PATH",
                        help="write the full result rows as JSON")
+    _add_live_args(rogue)
     rogue.set_defaults(fn=_cmd_rogue)
 
     trace = sub.add_parser(
@@ -759,6 +843,21 @@ def build_parser():
     report.add_argument("--workers", type=int, default=None,
                         help="campaign processes (default: all cores, capped)")
     report.set_defaults(fn=_cmd_report)
+
+    top = sub.add_parser(
+        "top", help="live campaign view: stress sweep under the telemetry fabric"
+    )
+    top.add_argument("--seeds", type=int, default=2)
+    top.add_argument("--ops", type=int, default=1500)
+    top.add_argument("--workers", type=int, default=None,
+                     help="parallel campaign processes (default: cpu count)")
+    top.add_argument("--live-interval", dest="live_interval", type=float,
+                     default=1.0, metavar="SECONDS",
+                     help="seconds between live progress updates")
+    top.add_argument("--dash-out", dest="dash_out", default=None, metavar="PATH",
+                     help="write the campaign_dash.json fabric summary + "
+                          "BENCH_*.json history here")
+    top.set_defaults(fn=_cmd_top)
 
     verify = sub.add_parser("verify", help="exhaustive interface verification")
     verify.set_defaults(fn=_cmd_verify)

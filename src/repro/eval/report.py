@@ -1,4 +1,8 @@
-"""Plain-text table formatting for experiment output."""
+"""Plain-text table formatting and campaign dashboard output."""
+
+import glob
+import json
+import os
 
 
 def format_table(headers, rows, title=None):
@@ -85,6 +89,96 @@ def format_rogue_matrix(rows):
     escaped = sum(1 for row in rows if (row.get("containment") or "escaped") == "escaped")
     title = f"rogue containment matrix ({len(rows)} campaigns, {escaped} escaped)"
     return format_table(["plan"] + columns, table_rows, title=title)
+
+
+def format_fabric_summary(summary):
+    """Render a :meth:`~repro.obs.fabric.FabricCollector.summary` as text.
+
+    Shows campaign totals, per-worker throughput/liveness, and latency
+    percentiles from the merged sketches — the after-the-fact view of
+    what ``--live`` showed while the campaign ran.
+    """
+    from repro.obs.sketch import LatencySketch
+
+    lines = [
+        "campaign fabric summary",
+        f"  jobs: {summary['jobs_done']}/{summary['jobs_total']} done, "
+        f"{summary['jobs_failed']} failed, {summary['jobs_lost']} lost",
+        f"  frames: {summary['frames_seen']} collected, "
+        f"{summary['frames_dropped']} dropped worker-side",
+        f"  coverage visited: {summary['coverage_visited']}",
+        f"  elapsed: {summary['elapsed']:.1f}s",
+    ]
+    workers = summary.get("workers", [])
+    if workers:
+        rows = [
+            [
+                f"w{w['id']}",
+                "STALLED" if w["stalled"] else "live",
+                w["jobs_done"],
+                f"{w['events_per_sec']:.0f}",
+                f"{w['heartbeat_age']:.1f}s",
+                w["dropped"],
+            ]
+            for w in workers
+        ]
+        lines.append("")
+        lines.append(format_table(
+            ["worker", "state", "jobs", "ev/s", "hb age", "dropped"], rows,
+            title="workers"))
+    sketches = summary.get("sketches", {})
+    if sketches:
+        rows = []
+        for name in sorted(sketches):
+            sketch = LatencySketch.from_dict(sketches[name])
+            if not sketch.count:
+                continue
+            rows.append([
+                name, sketch.count, f"{sketch.mean:.1f}",
+                f"{sketch.percentile(0.5):.1f}",
+                f"{sketch.percentile(0.9):.1f}",
+                f"{sketch.percentile(0.99):.1f}",
+                f"{sketch.max:.1f}" if sketch.max is not None else "-",
+            ])
+        if rows:
+            lines.append("")
+            lines.append(format_table(
+                ["sketch", "count", "mean", "p50", "p90", "p99", "max"], rows,
+                title="latency sketches (job_ms in milliseconds, "
+                      "span.* in ticks)"))
+    return "\n".join(lines)
+
+
+def build_campaign_dashboard(summary, bench_dir="."):
+    """The ``campaign_dash.json`` payload: fabric summary + bench history.
+
+    Folds any ``BENCH_*.json`` files in ``bench_dir`` in alongside the
+    fabric summary, so one artifact answers both "what did the campaign
+    do" and "what did this version's benchmarks say" — the CI perf-smoke
+    job archives it next to the BENCH files it summarizes.
+    """
+    bench = {}
+    for path in sorted(glob.glob(os.path.join(bench_dir, "BENCH_*.json"))):
+        name = os.path.splitext(os.path.basename(path))[0]
+        try:
+            with open(path) as fh:
+                bench[name] = json.load(fh)
+        except (OSError, ValueError) as exc:
+            bench[name] = {"error": f"unreadable: {exc}"}
+    return {
+        "schema": "repro.campaign_dash/1",
+        "fabric": summary,
+        "bench": bench,
+    }
+
+
+def write_campaign_dashboard(path, summary, bench_dir="."):
+    """Write the dashboard JSON; returns the payload."""
+    payload = build_campaign_dashboard(summary, bench_dir=bench_dir)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return payload
 
 
 def normalize_rows(rows, key, baseline_label, label_key="config"):

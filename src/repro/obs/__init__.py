@@ -1,4 +1,4 @@
-"""Unified observability: transaction spans, traces, metrics, coverage.
+"""Unified observability: spans, traces, metrics, coverage, campaign fabric.
 
 * :mod:`repro.obs.spans` — :class:`Telemetry` (the per-simulation hub)
   and :class:`SpanRecorder`/:class:`Span` (transaction lifecycles with
@@ -8,24 +8,50 @@
   :func:`validate_trace`);
 * :mod:`repro.obs.matrix` — per-(protocol, accel-mode) coverage
   heatmaps and span-latency percentiles (:class:`CoverageMatrix`,
-  :func:`render_matrix`).
+  :func:`render_matrix`);
+* :mod:`repro.obs.sketch` — mergeable fixed-bucket metric sketches
+  (:class:`LatencySketch`, :class:`CounterSeries`) whose folds are
+  byte-identical regardless of merge order;
+* :mod:`repro.obs.recorder` — the per-job :class:`FlightRecorder` black
+  box shipped in ``CampaignOutcome.forensics`` on failure;
+* :mod:`repro.obs.fabric` — the cross-process campaign telemetry fabric
+  (:class:`FabricCollector`, :class:`FabricEmitter`,
+  :class:`LiveRenderer`, :func:`use_fabric`, :func:`live_fabric`).
 
 Everything here is opt-in: a simulator with ``sim.obs`` unset pays one
 attribute load + identity check per hook site, nothing more.
 """
 
+from repro.obs.fabric import (
+    FabricCollector,
+    FabricEmitter,
+    LiveRenderer,
+    live_fabric,
+    use_fabric,
+)
 from repro.obs.matrix import CellSummary, CoverageMatrix, render_matrix
 from repro.obs.perfetto import build_trace, validate_trace, write_trace
-from repro.obs.spans import Span, SpanRecorder, Telemetry
+from repro.obs.recorder import FlightRecorder
+from repro.obs.sketch import CounterSeries, LatencySketch
+from repro.obs.spans import Span, SpanRecorder, Telemetry, sample_counters
 
 __all__ = [
     "CellSummary",
+    "CounterSeries",
     "CoverageMatrix",
+    "FabricCollector",
+    "FabricEmitter",
+    "FlightRecorder",
+    "LatencySketch",
+    "LiveRenderer",
     "Span",
     "SpanRecorder",
     "Telemetry",
     "build_trace",
+    "live_fabric",
     "render_matrix",
+    "sample_counters",
+    "use_fabric",
     "validate_trace",
     "write_trace",
 ]

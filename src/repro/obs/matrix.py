@@ -215,11 +215,36 @@ def render_missing(matrix, limit=12):
     return "\n".join(lines)
 
 
+def render_dropped_warning(matrix):
+    """Warning when any cell's span ring evicted closed spans.
+
+    Dropped spans mean the latency percentiles and outcome counts above
+    under-sample the *early* part of the affected runs; the warning names
+    the cells so truncated numbers are never read as complete ones.
+    """
+    dropped = {
+        key: cell.spans_dropped
+        for key, cell in sorted(matrix.cells.items())
+        if cell.spans_dropped
+    }
+    if not dropped:
+        return ""
+    total = sum(dropped.values())
+    cells = ", ".join(f"{key} ({count})" for key, count in dropped.items())
+    return (f"WARNING: {total} closed span(s) evicted from bounded recorder "
+            f"rings — latency percentiles under-sample early-run spans.\n"
+            f"  affected cells: {cells}\n"
+            f"  raise Telemetry(span_capacity=...) to record longer runs fully")
+
+
 def render_matrix(matrix, percentiles=(50, 90, 99), missing_limit=12):
     """Full report: heatmap, latency percentiles, outcomes, holes."""
     sections = [render_heatmap(matrix), render_latencies(matrix, percentiles)]
     statuses = render_statuses(matrix)
     if statuses:
         sections.append(statuses)
+    warning = render_dropped_warning(matrix)
+    if warning:
+        sections.append(warning)
     sections.append(render_missing(matrix, limit=missing_limit))
     return "\n\n".join(sections)

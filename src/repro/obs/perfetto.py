@@ -308,6 +308,21 @@ def validate_trace(payload):
                 problems.append(f"{where}: counter needs args")
             elif not all(isinstance(v, (int, float)) for v in args.values()):
                 problems.append(f"{where}: counter args must be numeric")
+            elif event.get("cat") == "series" and set(args) != {"value"}:
+                # series tracks carry exactly one "value" arg; extra or
+                # renamed keys would silently fork a second counter track
+                problems.append(
+                    f"{where}: series counter args must be exactly "
+                    f"{{'value'}}, got {sorted(args)}"
+                )
+        if ph == "X" and event.get("cat") == "fault-window":
+            args = event.get("args")
+            rate = args.get("rate") if isinstance(args, dict) else None
+            if not isinstance(rate, (int, float)) or not 0.0 <= rate <= 1.0:
+                problems.append(
+                    f"{where}: fault-window needs numeric args.rate in "
+                    f"[0, 1], got {rate!r}"
+                )
     return problems
 
 

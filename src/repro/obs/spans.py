@@ -177,6 +177,29 @@ class SpanRecorder:
 SERIES_FIELDS = ("events_fired", "open_spans", "spans_closed")
 
 
+def sample_counters(sim):
+    """One engine counter snapshot: the shared sampler body.
+
+    Used by both the :class:`Telemetry` time series and the campaign
+    fabric's progress frames, so a worker's live numbers and a traced
+    run's counter tracks always agree on definitions.
+    """
+    open_tbes = 0
+    stalled = 0
+    for comp in sim.components:
+        tbes = getattr(comp, "tbes", None)
+        if tbes is not None:
+            open_tbes += len(tbes)
+        if hasattr(comp, "stalled_count"):
+            stalled += comp.stalled_count()
+    return {
+        "tick": sim.tick,
+        "events_fired": sim._events_fired,
+        "open_tbes": open_tbes,
+        "stalled_msgs": stalled,
+    }
+
+
 class Telemetry:
     """The observability hub for one simulator.
 
@@ -268,23 +291,17 @@ class Telemetry:
             self.sim.schedule(self.series_interval, self._sample_series)
 
     def _take_sample(self):
-        sim = self.sim
+        base = sample_counters(self.sim)
+        # key order matters: trace files are compared byte-for-byte by the
+        # determinism tests, so keep the historical sample layout
         sample = {
-            "tick": sim.tick,
-            "events_fired": sim._events_fired,
+            "tick": base["tick"],
+            "events_fired": base["events_fired"],
             "open_spans": self.spans.open_count,
             "spans_closed": self.spans.finished_total,
+            "open_tbes": base["open_tbes"],
+            "stalled_msgs": base["stalled_msgs"],
         }
-        open_tbes = 0
-        stalled = 0
-        for comp in sim.components:
-            tbes = getattr(comp, "tbes", None)
-            if tbes is not None:
-                open_tbes += len(tbes)
-            if hasattr(comp, "stalled_count"):
-                stalled += comp.stalled_count()
-        sample["open_tbes"] = open_tbes
-        sample["stalled_msgs"] = stalled
         extra = getattr(self, "_series_extra", None)
         if extra is not None:
             sample.update(extra())
@@ -308,6 +325,16 @@ class Telemetry:
 
     def orphaned_count(self):
         return len(self.spans.by_status("orphaned"))
+
+    @property
+    def spans_dropped(self):
+        """Closed spans evicted from the bounded ring (truncated recording).
+
+        Non-zero means latency percentiles and per-status counts
+        under-sample the *early* part of the run; ``repro report`` and
+        ``repro trace`` surface a warning so truncation is never silent.
+        """
+        return self.spans.dropped
 
     def transition_counts(self):
         """Aggregate (ctype, state, event) -> count over the recording."""

@@ -82,6 +82,68 @@ class DeadlockError(RuntimeError):
         return "\n".join(lines)
 
 
+#: Per-process progress hook installed by the campaign telemetry fabric:
+#: ``(callback, interval_ticks)`` or None. When set, every new Simulator
+#: attaches a :class:`ProgressMonitor` calling ``callback(sim, final)``.
+_PROGRESS_HOOK = None
+
+
+def set_progress_hook(callback, interval=5000):
+    """Install (or clear, with ``callback=None``) the process progress hook.
+
+    The fabric worker initializer sets this once per process; from then on
+    every simulation built in the process reports periodic progress via a
+    run-loop *monitor* — the same out-of-band mechanism as the invariant
+    watchdog, so it never schedules events, never touches component stats,
+    and never consumes ``sim.rng``: golden digests and campaign results
+    are byte-identical with the hook installed.
+    """
+    global _PROGRESS_HOOK
+    if callback is None:
+        _PROGRESS_HOOK = None
+    else:
+        _PROGRESS_HOOK = (callback, max(1, int(interval)))
+
+
+def progress_hook():
+    """The installed ``(callback, interval)`` pair, or None."""
+    return _PROGRESS_HOOK
+
+
+class ProgressMonitor:
+    """Out-of-band periodic progress sampling for the telemetry fabric.
+
+    Attached via :meth:`Simulator.attach_monitor`. The callback is fenced:
+    a telemetry bug must never kill a simulation, so the first exception
+    disables the monitor for the rest of the run and is remembered on
+    ``last_error``.
+    """
+
+    def __init__(self, callback, interval=5000):
+        self.callback = callback
+        self.interval = max(1, int(interval))
+        self.samples = 0
+        self.last_error = None
+        self._next = None
+
+    def next_due(self, tick):
+        if self._next is None:
+            self._next = tick + self.interval
+        return self._next
+
+    def sample(self, sim, final=False):
+        self._next = sim.tick + self.interval
+        if self.callback is None:
+            return self._next
+        self.samples += 1
+        try:
+            self.callback(sim, final)
+        except Exception as exc:  # noqa: BLE001 - observers must not kill runs
+            self.last_error = exc
+            self.callback = None
+        return self._next
+
+
 class Simulator:
     """Owns the clock, the event queue, components, and global stats."""
 
@@ -110,6 +172,9 @@ class Simulator:
         #: run loop polls it between events like the deadlock check, so
         #: golden digests are byte-identical with monitors attached.
         self.monitors = []
+        hook = _PROGRESS_HOOK
+        if hook is not None:
+            self.attach_monitor(ProgressMonitor(hook[0], hook[1]))
         #: ring of the last ``trace_depth`` network sends, for forensics.
         #: ``trace_depth=0`` disables recording entirely (``trace`` is
         #: None and the networks skip the recording call) — campaigns run
@@ -271,6 +336,10 @@ class Simulator:
                 if t is None:
                     if final_check:
                         self._check_deadlock(final=True)
+                        # flush the loop-local fired count so monitors see
+                        # live totals; end-of-run state is unchanged
+                        self._events_fired += fired
+                        fired = 0
                         self._run_monitors(final=True)
                     return "idle"
                 if max_ticks is not None and t > max_ticks:
@@ -315,6 +384,10 @@ class Simulator:
                             self._check_deadlock(final=False)
                             next_check = t + check_interval
                         if next_monitor is not None and t >= next_monitor:
+                            # flush the loop-local fired count so monitors
+                            # sample live totals, not start-of-run state
+                            self._events_fired += fired
+                            fired = 0
                             next_monitor = self._run_monitors(final=False)
                 finally:
                     events._draining_tick = None

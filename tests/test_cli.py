@@ -66,6 +66,42 @@ def test_stress_small(capsys):
     assert "stress runs, 0 failures" in capsys.readouterr().out
 
 
+def test_stress_live_plain_on_non_tty(capsys, tmp_path):
+    # capsys' stdout is not a TTY, so --live must degrade to periodic
+    # plain-text lines (no ANSI) and still produce the normal report
+    dash = tmp_path / "campaign_dash.json"
+    assert main([
+        "stress", "--seeds", "1", "--ops", "300", "--workers", "2",
+        "--live", "--live-interval", "0.2", "--dash-out", str(dash),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "\x1b[" not in out, "non-TTY live output must stay plain"
+    assert "fabric: jobs" in out
+    assert "stress runs, 0 failures" in out
+    import json
+
+    payload = json.loads(dash.read_text())
+    assert payload["schema"] == "repro.campaign_dash/1"
+    assert payload["fabric"]["jobs_done"] == payload["fabric"]["jobs_total"]
+
+
+def test_top_command_prints_fabric_summary(capsys):
+    assert main(["top", "--seeds", "1", "--ops", "300", "--workers", "1",
+                 "--live-interval", "0.2"]) == 0
+    out = capsys.readouterr().out
+    assert "campaign fabric summary" in out
+    assert "job_ms" in out
+    assert "\x1b[" not in out
+
+
+def test_fuzz_live_frames_single_run(capsys):
+    assert main(["fuzz", "--duration", "8000", "--cpu-ops", "200",
+                 "--live", "--live-interval", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "host_safe: True" in out
+    assert "fabric: jobs 1/1" in out
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])

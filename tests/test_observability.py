@@ -315,6 +315,60 @@ def test_write_trace_refuses_invalid_payload(tmp_path):
         write_trace({"traceEvents": [{"ph": "X"}]}, tmp_path / "bad.json")
 
 
+def test_validate_trace_checks_series_and_fault_window_args():
+    bad = {
+        "traceEvents": [
+            # series counters must carry exactly args == {"value": n}
+            {"ph": "C", "name": "events_fired", "cat": "series", "pid": 4,
+             "tid": 0, "ts": 0, "args": {"value": 1, "extra": 2}},
+            {"ph": "C", "name": "open_spans", "cat": "series", "pid": 4,
+             "tid": 0, "ts": 0, "args": {"count": 3}},
+            # fault windows must carry a numeric rate in [0, 1]
+            {"ph": "X", "name": "window:drop", "cat": "fault-window",
+             "pid": 3, "tid": 1, "ts": 0, "dur": 10, "args": {"rate": 1.5}},
+            {"ph": "X", "name": "window:dup", "cat": "fault-window",
+             "pid": 3, "tid": 1, "ts": 0, "dur": 10, "args": {}},
+        ]
+    }
+    problems = validate_trace(bad)
+    assert len(problems) == 4
+    assert sum("series counter" in p for p in problems) == 2
+    assert sum("fault-window" in p for p in problems) == 2
+
+    good = {
+        "traceEvents": [
+            {"ph": "C", "name": "events_fired", "cat": "series", "pid": 4,
+             "tid": 0, "ts": 5, "args": {"value": 12}},
+            # occupancy counters keep their own arg names: not series-gated
+            {"ph": "C", "name": "occupancy.l2", "cat": "occupancy", "pid": 4,
+             "tid": 0, "ts": 5, "args": {"busy_ticks": 3}},
+            {"ph": "X", "name": "window:drop", "cat": "fault-window",
+             "pid": 3, "tid": 1, "ts": 0, "dur": 10, "args": {"rate": 0.25}},
+        ]
+    }
+    assert validate_trace(good) == []
+
+
+def test_trace_with_empty_series_still_validates():
+    # A run whose sampler never fired (series_interval=0) must export a
+    # valid trace with zero "series" counter events — the empty-series
+    # regression the validator additions must not break.
+    result, system = run_chaos_campaign(
+        HostProtocol.MESI,
+        XGVariant.FULL_STATE,
+        faults={"drop": 0.1},
+        seed=3,
+        duration=8_000,
+        cpu_ops=150,
+        telemetry=True,
+    )
+    assert result.host_safe
+    assert system.sim.obs.series == []
+    payload = build_trace(system.sim.obs)
+    assert validate_trace(payload) == []
+    assert not any(e.get("cat") == "series" for e in payload["traceEvents"])
+
+
 # -- coverage matrix ---------------------------------------------------------
 
 
@@ -344,6 +398,35 @@ def test_coverage_matrix_merge_pools_runs():
     merged_cell = a.cells["mesi/xg-full-L1"]
     assert merged_cell.runs == 2
     assert merged_cell.spans_closed > solo
+
+
+def test_render_matrix_warns_on_dropped_spans():
+    from repro.eval.experiments import run_stress_coverage
+
+    matrix = run_stress_coverage(
+        seeds=range(1), ops_per_run=200, telemetry=True
+    )["matrix"]
+    clean = render_matrix(matrix)
+    assert "WARNING" not in clean
+
+    # Simulate a run whose bounded span ring evicted closed spans.
+    matrix.cells["mesi/xg-full-L1"].spans_dropped = 7
+    warned = render_matrix(matrix)
+    assert "WARNING" in warned
+    assert "mesi/xg-full-L1 (7)" in warned
+    assert "span_capacity" in warned
+
+
+def test_telemetry_exposes_spans_dropped():
+    from repro.sim.simulator import Simulator
+
+    tel = Telemetry(Simulator(), span_capacity=2)
+    rec = tel.spans
+    for i in range(4):
+        span = rec.start("probe", "xg", 0x40 * i, i)
+        rec.finish(span, i + 5)
+    assert tel.spans_dropped == 2
+    assert tel.summary()["spans_dropped"] == 2
 
 
 def test_stress_result_stays_json_serializable_without_telemetry():
