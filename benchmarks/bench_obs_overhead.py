@@ -66,6 +66,17 @@ def test_obs_overhead(once):
         f"fabric overhead {fabric_pct:+.2f}% exceeds {fabric_tol:.1f}% budget"
     )
 
+    # Causal lineage (repro blame) books a cause record on every send,
+    # fire, and stall re-queue; its budget is ≤3% throughput vs the
+    # lineage-off default. BENCH_LINEAGE_TOL widens the gate on noisy
+    # shared CI runners without changing the contract locally.
+    lineage_tol = float(os.environ.get("BENCH_LINEAGE_TOL", "3.0"))
+    lineage_pct = report["overhead_pct"]["lineage_vs_default"]
+    assert lineage_pct <= lineage_tol, (
+        f"lineage overhead {lineage_pct:+.2f}% exceeds "
+        f"{lineage_tol:.1f}% budget"
+    )
+
     out = os.environ.get("BENCH_OBS_OUT", "BENCH_obs.json")
     if out:
         with open(out, "w") as fh:

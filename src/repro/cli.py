@@ -10,6 +10,8 @@ Commands:
   variants) with the online invariant watchdog armed;
 * ``trace``       — traced chaos run exported as Chrome/Perfetto JSON;
 * ``report``      — telemetry-on stress: coverage heatmap + span percentiles;
+* ``blame``       — lineage-on stress: per-(config x span-kind) blame
+  breakdown plus the slowest transactions with their critical paths;
 * ``top``         — live campaign view: stress sweep under the telemetry
   fabric with per-worker throughput/heartbeats, then the fabric summary;
 * ``bench``       — engine events/sec microbenchmark + campaign wall-clock;
@@ -36,6 +38,32 @@ def _add_live_args(cmd):
     cmd.add_argument("--live-interval", dest="live_interval", type=float,
                      default=1.0, metavar="SECONDS",
                      help="seconds between live progress updates")
+    cmd.add_argument("--forensics-all", dest="forensics_all",
+                     action="store_true",
+                     help="keep the bounded FlightRecorder black box for "
+                          "successful jobs too (default: failures only)")
+
+
+def _campaign_fabric(stack, args):
+    """Fabric for a campaign command: live renderer and/or forensics-all.
+
+    ``--live`` brings up the rendering fabric as before; ``--forensics-all``
+    without ``--live`` still needs a (renderer-less) fabric so workers
+    carry their flight recorders. Returns the collector or None.
+    """
+    from repro.obs.fabric import FabricCollector, live_fabric, use_fabric
+
+    config = {"forensics_all": True} if getattr(args, "forensics_all", False) \
+        else None
+    fabric = stack.enter_context(
+        live_fabric(live=getattr(args, "live", False),
+                    interval=args.live_interval, config=config)
+    )
+    if fabric is None and config is not None:
+        fabric = stack.enter_context(
+            use_fabric(FabricCollector(renderer=None, config=config))
+        )
+    return fabric
 
 
 def _single_run_fabric(stack, args, label):
@@ -43,17 +71,37 @@ def _single_run_fabric(stack, args, label):
 
     fuzz/chaos run one simulation in-process rather than a campaign, so
     the fabric is framed as a one-job session: collector + in-process
-    emitter + progress hook, torn down when ``stack`` unwinds.
+    emitter + progress hook, torn down when ``stack`` unwinds. Returns
+    the in-process emitter (whose flight recorder ``--forensics-all``
+    snapshots), or None when neither flag asked for a fabric.
     """
-    if not getattr(args, "live", False):
+    if not (getattr(args, "live", False)
+            or getattr(args, "forensics_all", False)):
         return None
-    from repro.obs.fabric import inproc_session, live_fabric
+    from repro.obs.fabric import inproc_session
 
-    fabric = stack.enter_context(
-        live_fabric(live=True, interval=args.live_interval)
-    )
-    stack.enter_context(inproc_session(fabric, label=label))
-    return fabric
+    fabric = _campaign_fabric(stack, args)
+    return stack.enter_context(inproc_session(fabric, label=label))
+
+
+def _grab_single_run_forensics(emitter, args):
+    """Snapshot the in-process black box before the fabric tears down."""
+    if emitter is None or not getattr(args, "forensics_all", False):
+        return None
+    return emitter.failure_forensics()["flight_recorder"]
+
+
+def _print_single_run_forensics(snap):
+    """``--forensics-all`` tail for fuzz/chaos: summarize the black box."""
+    if snap is None:
+        return
+    print(f"\nforensics (kept for successful run): "
+          f"{snap['frames_seen']} frames recorded, "
+          f"final tick {snap.get('tick', '-')}")
+    path = (snap.get("critical_path") or {}).get("path")
+    if path:
+        rendered = " -> ".join(f"{bucket}:{ticks}" for bucket, ticks in path)
+        print(f"  oldest open span critical path: {rendered}")
 
 
 def _cmd_demo(args):
@@ -92,20 +140,23 @@ def _cmd_stress(args):
 
     from repro.eval.campaign import resolve_workers
     from repro.eval.experiments import run_stress_coverage
-    from repro.obs.fabric import live_fabric
 
     workers = resolve_workers(args.workers)
     start = time.perf_counter()
-    with live_fabric(live=args.live, interval=args.live_interval) as fabric:
+    with ExitStack() as stack:
+        fabric = _campaign_fabric(stack, args)
         result = run_stress_coverage(
             seeds=range(args.seeds), ops_per_run=args.ops, workers=workers
         )
     elapsed = time.perf_counter() - start
-    if fabric is not None and args.dash_out:
+    if fabric is not None and args.live and args.dash_out:
         from repro.eval.report import write_campaign_dashboard
 
         write_campaign_dashboard(args.dash_out, fabric.summary())
         print(f"wrote {args.dash_out}")
+    kept = result.get("forensics", [])
+    if kept:
+        print(f"forensics: kept {len(kept)} successful-job black box(es)")
     failures = [r for r in result["runs"] if not r["passed"]]
     print(
         format_table(
@@ -287,7 +338,7 @@ def _cmd_fuzz(args):
     from repro.xg.interface import XGVariant
 
     with ExitStack() as stack:
-        _single_run_fabric(
+        emitter = _single_run_fabric(
             stack, args,
             label=f"fuzz/{args.host}/{args.variant}/{args.adversary}",
         )
@@ -299,6 +350,7 @@ def _cmd_fuzz(args):
             duration=args.duration,
             cpu_ops=args.cpu_ops,
         )
+        forensic_snap = _grab_single_run_forensics(emitter, args)
     report = result.as_dict()
     for key in (
         "host_safe", "adversary_messages", "violations_total",
@@ -310,6 +362,7 @@ def _cmd_fuzz(args):
     if len(_system.error_log):
         print()
         print(format_error_log(_system.error_log, limit=args.show_errors))
+    _print_single_run_forensics(forensic_snap)
     return 0 if report["host_safe"] else 1
 
 
@@ -330,7 +383,7 @@ def _cmd_chaos(args):
         print(f"error: {exc}", file=sys.stderr)
         return 2
     with ExitStack() as stack:
-        _single_run_fabric(
+        emitter = _single_run_fabric(
             stack, args,
             label=f"chaos/{args.host}/{args.variant}/{args.adversary}",
         )
@@ -348,6 +401,7 @@ def _cmd_chaos(args):
             probe_retries=args.probe_retries,
             disable_after=args.disable_after,
         )
+        forensic_snap = _grab_single_run_forensics(emitter, args)
     report = result.as_dict()
     for key in (
         "host_safe", "final_tick", "cpu_loads_checked", "adversary_messages",
@@ -366,6 +420,7 @@ def _cmd_chaos(args):
     if not report["host_safe"] and report["diagnosis"]:
         print()
         print(report["diagnosis"])
+    _print_single_run_forensics(forensic_snap)
     return 0 if report["host_safe"] else 1
 
 
@@ -392,12 +447,11 @@ def _cmd_rogue(args):
     except KeyError as exc:
         print(f"error: unknown host or variant {exc.args[0]!r}", file=sys.stderr)
         return 2
-    from repro.obs.fabric import live_fabric
-
     workers = resolve_workers(args.workers)
     start = time.perf_counter()
     try:
-        with live_fabric(live=args.live, interval=args.live_interval):
+        with ExitStack() as stack:
+            _campaign_fabric(stack, args)
             rows = run_rogue_matrix(
                 plans=plans,
                 hosts=hosts,
@@ -423,6 +477,10 @@ def _cmd_rogue(args):
     checks = sum(r.get("watchdog_checks", 0) for r in rows)
     print(f"contained: {contained}/{len(rows)}; invariant violations: "
           f"{len(invariant)}; watchdog checks: {checks}")
+    if args.forensics_all:
+        kept = sum(1 for r in rows if r.get("forensics"))
+        print(f"forensics: {kept}/{len(rows)} rows carry a black box "
+              f"(--out writes them as JSON)")
     for row in escaped:
         print(f"\nESCAPED: {row['plan']} on {row['host']}/{row['variant']} "
               f"seed {row['seed']}: {row.get('crash_detail') or row.get('detail')}",
@@ -498,13 +556,47 @@ def _cmd_report(args):
     start = time.perf_counter()
     result = run_stress_coverage(
         seeds=range(args.seeds), ops_per_run=args.ops, workers=workers,
-        telemetry=True,
+        telemetry=True, lineage=args.lineage,
     )
     elapsed = time.perf_counter() - start
     failures = [r for r in result["runs"] if not r["passed"]]
     print(f"{len(result['runs'])} stress runs, {len(failures)} failures "
           f"({workers} worker{'s' if workers != 1 else ''}, {elapsed:.1f}s)\n")
     print(render_matrix(result["matrix"]))
+    if args.lineage:
+        from repro.obs import render_blame
+
+        print()
+        print(render_blame(result["blame"]))
+    for failure in failures:
+        print("FAIL:", failure["config"], "seed", failure["seed"], failure["detail"])
+    return 1 if failures else 0
+
+
+def _cmd_blame(args):
+    import json
+    import time
+
+    from repro.eval.campaign import resolve_workers
+    from repro.eval.experiments import run_stress_coverage
+    from repro.obs import render_blame
+
+    workers = resolve_workers(args.workers)
+    start = time.perf_counter()
+    result = run_stress_coverage(
+        seeds=range(args.seeds), ops_per_run=args.ops, workers=workers,
+        telemetry=True, lineage=True,
+    )
+    elapsed = time.perf_counter() - start
+    failures = [r for r in result["runs"] if not r["passed"]]
+    print(f"{len(result['runs'])} stress runs, {len(failures)} failures "
+          f"({workers} worker{'s' if workers != 1 else ''}, {elapsed:.1f}s)\n")
+    print(render_blame(result["blame"], top=args.top))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(result["blame"].as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.out}")
     for failure in failures:
         print("FAIL:", failure["config"], "seed", failure["seed"], failure["detail"])
     return 1 if failures else 0
@@ -842,7 +934,25 @@ def build_parser():
     report.add_argument("--ops", type=int, default=1500)
     report.add_argument("--workers", type=int, default=None,
                         help="campaign processes (default: all cores, capped)")
+    report.add_argument("--lineage", action="store_true",
+                        help="also record causal lineage and append the "
+                             "blame breakdown (see `repro blame`)")
     report.set_defaults(fn=_cmd_report)
+
+    blame = sub.add_parser(
+        "blame",
+        help="lineage-on stress: critical-path blame for every transaction",
+    )
+    blame.add_argument("--seeds", type=int, default=1)
+    blame.add_argument("--ops", type=int, default=800)
+    blame.add_argument("--workers", type=int, default=None,
+                       help="campaign processes (default: all cores, capped)")
+    blame.add_argument("--top", type=int, default=5,
+                       help="slowest transactions to show with critical paths")
+    blame.add_argument("-o", "--out", default=None, metavar="PATH",
+                       help="write the mergeable blame-matrix JSON here "
+                            "(blame_report.json; CI archives it)")
+    blame.set_defaults(fn=_cmd_blame)
 
     top = sub.add_parser(
         "top", help="live campaign view: stress sweep under the telemetry fabric"

@@ -124,6 +124,15 @@ class CoherenceController(Component):
         # pre-bound hot-path counters (no-op sinks when metrics are off)
         self._stall_sink = self.stats.sink("stalls")
         self._anomaly_sink = self.stats.sink("protocol_anomalies")
+        # lineage service class: which blame bucket this controller's
+        # handler compute lands in (the wakeup loop stamps it per record)
+        ctype = self.CONTROLLER_TYPE
+        if ctype.startswith("xg") or ctype == "crossing_guard":
+            self._lineage_class = "xg_translate"
+        elif ctype.startswith("accel") or ctype == "block_shim":
+            self._lineage_class = "service"
+        else:
+            self._lineage_class = "host_service"
 
     # -- subclass API -----------------------------------------------------------
 
@@ -249,6 +258,7 @@ class CoherenceController(Component):
         if self.sim.tick < self._busy_until:
             self.request_wakeup(self._busy_until)
             return
+        lineage = self.sim.lineage
         while True:
             did_work = False
             for port, buf, releasable in self._prio_ports:
@@ -258,7 +268,18 @@ class CoherenceController(Component):
                 msg = buf.pop(self.sim.tick)
                 if msg is None:
                     continue
-                outcome = self.handle_message(port, msg)
+                if lineage is not None:
+                    # Installs this message as the cause context every send
+                    # inside the handler inherits. wakeup() is never
+                    # re-entered while a handler runs, so a flat reset (not
+                    # a save/restore) is correct.
+                    lid = lineage.begin(msg.uid, self.sim.tick,
+                                        self._lineage_class)
+                    outcome = self.handle_message(port, msg)
+                    lineage.current = 0
+                else:
+                    lid = 0
+                    outcome = self.handle_message(port, msg)
                 if outcome == STALL:
                     # The message stays alive in the stall buffer; it is
                     # released on the pass that finally consumes it.
@@ -267,9 +288,13 @@ class CoherenceController(Component):
                     self._stalled_since.setdefault(key, self.sim.tick)
                     self._stalled_total += 1
                     self._stall_sink.inc()
+                    if lid:
+                        lineage.stalled(lid, self.sim.tick)
                     did_work = True
                 elif outcome == RETRY:
                     buf.push_front(self.sim.tick, msg)
+                    if lid:
+                        lineage.requeued(lid, self.sim.tick)
                     continue
                 else:
                     if releasable:

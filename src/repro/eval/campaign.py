@@ -101,9 +101,15 @@ def _execute(indexed_job):
         emitter.job_started(index, job.label)
     try:
         value = job.runner(*job.args, **job.kwargs)
+        forensics = None
         if emitter is not None:
+            if emitter.config.get("forensics_all"):
+                # --forensics-all: keep the bounded black box even for
+                # successful jobs (baseline comparisons, overhead triage)
+                forensics = emitter.failure_forensics()
             emitter.job_finished(index, job.label, ok=True)
-        return CampaignOutcome(label=job.label, index=index, ok=True, value=value)
+        return CampaignOutcome(label=job.label, index=index, ok=True,
+                               value=value, forensics=forensics)
     except DeadlockError as exc:
         forensics = None
         if emitter is not None:

@@ -269,17 +269,21 @@ def _replay_for_diagnosis(config, tester_kwargs, ops_per_run):
 
 
 def _run_stress_job(config, tester_kwargs, label, seed, ops_per_run,
-                    telemetry=False):
+                    telemetry=False, lineage=False):
     """One (config, seed) stress simulation.
 
     Returns (result row, coverage, telemetry summary or None). Runs
     worker-side under the campaign executor; everything returned is plain
     picklable data. Failures never escape — a deadlock row carries the
     forensic diagnosis from a traced deterministic replay.
+
+    ``lineage=True`` (with a config built ``lineage=True``) additionally
+    ships this run's blame aggregate under ``summary["blame"]`` as a
+    plain :meth:`~repro.obs.lineage.BlameMatrix.as_dict` payload.
     """
     system, tester = _build_stress_tester(config, tester_kwargs, ops_per_run)
     obs = None
-    if telemetry:
+    if telemetry or lineage:
         from repro.obs import Telemetry
 
         obs = Telemetry(system.sim, transitions=False)
@@ -310,11 +314,13 @@ def _run_stress_job(config, tester_kwargs, label, seed, ops_per_run,
     if obs is not None:
         obs.finalize()
         summary = obs.summary()
+        if obs.lineage is not None:
+            summary["blame"] = obs.blame_matrix(label, seed=seed).as_dict()
     return outcome, coverage, summary
 
 
 def run_stress_coverage(seeds=range(4), ops_per_run=2000, num_blocks=5, workers=1,
-                        telemetry=False):
+                        telemetry=False, lineage=False):
     """E3: random load/store/check over all 12 configs; coverage report.
 
     Returns per-config pass counts and per-controller-type coverage
@@ -328,17 +334,23 @@ def run_stress_coverage(seeds=range(4), ops_per_run=2000, num_blocks=5, workers=
     under ``"matrix"`` (coverage heatmap cells + span-latency histograms,
     merged in submission order like everything else). The default result
     stays JSON-serializable.
+
+    ``lineage=True`` enables causal lineage in every run (implies span
+    recording) and folds the per-job blame aggregates into one
+    :class:`~repro.obs.lineage.BlameMatrix` under ``"blame"`` — an
+    order-free integer merge, so any worker count produces byte-identical
+    blame output.
     """
     campaign_jobs = []
     for seed in seeds:
         for config, tester_kwargs, suffix in _stress_jobs(seed, num_blocks):
             label = config.label + suffix
-            fast = dataclasses.replace(config, trace_depth=0)
+            fast = dataclasses.replace(config, trace_depth=0, lineage=lineage)
             campaign_jobs.append(
                 CampaignJob(
                     runner=_run_stress_job,
                     args=(fast, tester_kwargs, label, seed, ops_per_run),
-                    kwargs={"telemetry": telemetry},
+                    kwargs={"telemetry": telemetry, "lineage": lineage},
                     label=f"{label}/seed{seed}",
                 )
             )
@@ -347,9 +359,19 @@ def run_stress_coverage(seeds=range(4), ops_per_run=2000, num_blocks=5, workers=
         from repro.obs import CoverageMatrix
 
         matrix = CoverageMatrix()
+    blame = None
+    if lineage:
+        from repro.obs.lineage import BlameMatrix
+
+        blame = BlameMatrix()
     coverage = {}
     results = []
+    forensics = []
     for outcome in run_campaign(campaign_jobs, workers=workers):
+        if outcome.ok and outcome.forensics is not None:
+            # fabric forensics_all: black boxes kept for successful jobs
+            forensics.append({"label": outcome.label,
+                              "forensics": outcome.forensics})
         if not outcome.ok:
             # the job's own error capture failed (worker died mid-build):
             # surface it as a failed row rather than losing the run
@@ -358,6 +380,12 @@ def run_stress_coverage(seeds=range(4), ops_per_run=2000, num_blocks=5, workers=
             )
             continue
         row, job_coverage, telemetry_summary = outcome.value
+        if blame is not None and telemetry_summary:
+            from repro.obs.lineage import BlameMatrix
+
+            job_blame = telemetry_summary.pop("blame", None)
+            if job_blame:
+                blame.merge(BlameMatrix.from_dict(job_blame))
         results.append(row)
         for ctype, report in job_coverage.items():
             if ctype in coverage:
@@ -382,6 +410,10 @@ def run_stress_coverage(seeds=range(4), ops_per_run=2000, num_blocks=5, workers=
     result = {"runs": results, "coverage": coverage_rows}
     if matrix is not None:
         result["matrix"] = matrix
+    if blame is not None:
+        result["blame"] = blame
+    if forensics:
+        result["forensics"] = forensics
     return result
 
 

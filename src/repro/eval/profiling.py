@@ -335,7 +335,9 @@ def bench_xg_stress(mode="default", seed=0, ops=1200, repeats=3):
     * ``"traced"``      — a :class:`~repro.obs.Telemetry` hub attached,
       spans + transitions recorded (the `repro trace` path);
     * ``"fabric"``      — campaign telemetry fabric attached in-process
-      (emitter + progress monitor + collector, the ``--live`` path).
+      (emitter + progress monitor + collector, the ``--live`` path);
+    * ``"lineage"``     — causal lineage + span recording on (the
+      ``repro blame`` path: every send/fire/stall books a cause record).
     """
     from contextlib import ExitStack
 
@@ -363,6 +365,7 @@ def bench_xg_stress(mode="default", seed=0, ops=1200, repeats=3):
             mem_latency=30,
             trace_depth=0,
             metrics=mode != "metrics_off",
+            lineage=mode == "lineage",
         )
         with ExitStack() as stack:
             if mode == "fabric":
@@ -377,6 +380,12 @@ def bench_xg_stress(mode="default", seed=0, ops=1200, repeats=3):
                 from repro.obs import Telemetry
 
                 Telemetry(system.sim)
+            elif mode == "lineage":
+                # spans only — transition recording would drown the
+                # lineage cost being measured
+                from repro.obs import Telemetry
+
+                Telemetry(system.sim, transitions=False)
             blocks = [0x1000 + 64 * i for i in range(6)]
             tester = RandomTester(
                 system.sim, system.sequencers, blocks,
@@ -486,13 +495,14 @@ def obs_overhead_report(scale=1, seed=0, repeats=3, stress_ops=1200):
     """
     engine = run_engine_microbench(scale=scale, seed=seed, repeats=repeats)
     modes = {}
-    for mode in ("metrics_off", "default", "traced", "fabric"):
+    for mode in ("metrics_off", "default", "traced", "fabric", "lineage"):
         modes[mode] = bench_xg_stress(mode=mode, seed=seed, ops=stress_ops,
                                       repeats=repeats)
     default_eps = modes["default"]["events_per_sec"]
     off_eps = modes["metrics_off"]["events_per_sec"]
     traced_eps = modes["traced"]["events_per_sec"]
     fabric_eps = modes["fabric"]["events_per_sec"]
+    lineage_eps = modes["lineage"]["events_per_sec"]
     return {
         "bench": "obs_overhead",
         "unit": "events_per_sec",
@@ -522,6 +532,12 @@ def obs_overhead_report(scale=1, seed=0, repeats=3, stress_ops=1200):
             # metrics-on — the ≤2% budget bench_obs_overhead.py gates
             "fabric_vs_default": (
                 100.0 * (default_eps - fabric_eps) / default_eps
+                if default_eps else 0.0
+            ),
+            # causal lineage + span recording relative to metrics-on —
+            # the ≤3% budget bench_obs_overhead.py gates
+            "lineage_vs_default": (
+                100.0 * (default_eps - lineage_eps) / default_eps
                 if default_eps else 0.0
             ),
         },

@@ -88,6 +88,10 @@ class SystemConfig:
     # forensic trace-ring depth; 0 disables recording entirely (fast
     # campaign mode — replay the seed with a nonzero depth for forensics)
     trace_depth: int = 64
+    # causal message lineage + per-span blame attribution
+    # (repro.obs.lineage); records only flow once a Telemetry hub is
+    # attached, and the default is a true no-op on every hot path
+    lineage: bool = False
     # message-pool debug mode: released messages are poisoned and a
     # double release raises (repro.sim.message.set_pool_debug). Global,
     # like the pool — the most recently built system wins.

@@ -74,6 +74,15 @@ class Sequencer(Component):
         if obs is not None:
             span = obs.spans.start(f"op_{op.name.lower()}", self.name, addr, now)
         self.outstanding[msg.uid] = OutstandingOp(msg, callback, now, span=span)
+        lineage = self.sim.lineage
+        if lineage is not None:
+            # Synthetic chain root: the mandatory-queue delivery bypasses
+            # the Network hook. cause is pinned to 0 because _issue may run
+            # inside a completion callback (i.e. while another message's
+            # handler is the current cause) and a new CPU op is not caused
+            # by the op that just finished.
+            lineage.record_send(msg, now, now + self.issue_latency,
+                                self.issue_latency, site="issue", cause=0)
         self.cache.deliver("mandatory", now + self.issue_latency, msg)
         self._issued_sink.inc()
         return msg

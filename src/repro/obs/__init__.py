@@ -12,6 +12,10 @@
 * :mod:`repro.obs.sketch` — mergeable fixed-bucket metric sketches
   (:class:`LatencySketch`, :class:`CounterSeries`) whose folds are
   byte-identical regardless of merge order;
+* :mod:`repro.obs.lineage` — causal message lineage and per-span
+  critical-path blame (:class:`LineageTracker`, :class:`BlameMatrix`):
+  every closed span's duration decomposed exactly into wire / queue /
+  stall / service / translation segments;
 * :mod:`repro.obs.recorder` — the per-job :class:`FlightRecorder` black
   box shipped in ``CampaignOutcome.forensics`` on failure;
 * :mod:`repro.obs.fabric` — the cross-process campaign telemetry fabric
@@ -29,13 +33,15 @@ from repro.obs.fabric import (
     live_fabric,
     use_fabric,
 )
-from repro.obs.matrix import CellSummary, CoverageMatrix, render_matrix
+from repro.obs.lineage import SEGMENTS, BlameMatrix, LineageTracker
+from repro.obs.matrix import CellSummary, CoverageMatrix, render_blame, render_matrix
 from repro.obs.perfetto import build_trace, validate_trace, write_trace
 from repro.obs.recorder import FlightRecorder
 from repro.obs.sketch import CounterSeries, LatencySketch
 from repro.obs.spans import Span, SpanRecorder, Telemetry, sample_counters
 
 __all__ = [
+    "BlameMatrix",
     "CellSummary",
     "CounterSeries",
     "CoverageMatrix",
@@ -43,12 +49,15 @@ __all__ = [
     "FabricEmitter",
     "FlightRecorder",
     "LatencySketch",
+    "LineageTracker",
     "LiveRenderer",
+    "SEGMENTS",
     "Span",
     "SpanRecorder",
     "Telemetry",
     "build_trace",
     "live_fabric",
+    "render_blame",
     "render_matrix",
     "sample_counters",
     "use_fabric",

@@ -54,6 +54,9 @@ DEFAULT_CONFIG = {
     "series_bucket_ticks": 5000,       # CounterSeries tick bucketing
     "recorder_frames": 256,            # flight-recorder frame ring
     "recorder_tail": 64,               # trace/transition tail length
+    "forensics_all": False,            # keep FlightRecorder snapshots for
+                                       # successful jobs too (--forensics-all;
+                                       # bounded per job, off by default)
 }
 
 #: Queue capacity: deep enough that drops only happen when the collector

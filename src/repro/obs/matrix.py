@@ -237,6 +237,59 @@ def render_dropped_warning(matrix):
             f"  raise Telemetry(span_capacity=...) to record longer runs fully")
 
 
+def render_blame(blame, top=5):
+    """Blame breakdown + slowest transactions from a ``BlameMatrix``.
+
+    ``blame`` may be a live :class:`~repro.obs.lineage.BlameMatrix` or its
+    ``as_dict()`` payload (the form campaign results carry). Per-cell
+    rows show what fraction of total span ticks each segment claimed;
+    the tail lists the top-N slowest transactions with their critical
+    paths.
+    """
+    from repro.obs.lineage import SEGMENTS, BlameMatrix
+
+    if isinstance(blame, dict):
+        blame = BlameMatrix.from_dict(blame)
+    rows = blame.rows()
+    if not rows:
+        return ("blame: no lineage recorded "
+                "(enable SystemConfig(lineage=True) / --lineage)")
+    headers = (["config", "span kind", "spans", "p50", "p99"]
+               + list(SEGMENTS))
+    table_rows = []
+    for row in rows:
+        total = row["total_ticks"]
+        segments = row["segments"]
+        cells = []
+        for segment in SEGMENTS:
+            ticks = segments.get(segment, 0)
+            cells.append(f"{100.0 * ticks / total:5.1f}%" if total and ticks
+                         else "-")
+        table_rows.append(
+            [row["config"], row["kind"], row["spans"],
+             f"{row['p50']:.0f}", f"{row['p99']:.0f}"] + cells
+        )
+    sections = [format_table(headers, table_rows,
+                             title="blame breakdown (% of span ticks)")]
+    top_entries = blame.top_spans()[:top]
+    if top_entries:
+        lines = [f"slowest {len(top_entries)} transaction(s) with critical paths:"]
+        for entry in top_entries:
+            addr = (f"{entry['addr']:#x}" if isinstance(entry["addr"], int)
+                    else str(entry["addr"]))
+            lines.append(
+                f"  {entry['duration']:>8} ticks  {entry['config']}"
+                f"  seed={entry['seed']}  {entry['kind']} {addr}"
+                f" [{entry['status']}]"
+            )
+            path = " -> ".join(
+                f"{bucket}:{ticks}" for bucket, ticks in entry["path"]
+            )
+            lines.append(f"      {path or '(no path recorded)'}")
+        sections.append("\n".join(lines))
+    return "\n\n".join(sections)
+
+
 def render_matrix(matrix, percentiles=(50, 90, 99), missing_limit=12):
     """Full report: heatmap, latency percentiles, outcomes, holes."""
     sections = [render_heatmap(matrix), render_latencies(matrix, percentiles)]

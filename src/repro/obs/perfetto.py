@@ -77,6 +77,7 @@ def _emit_spans(events, telemetry):
     for span in telemetry.spans.closed:
         by_component.setdefault(span.component, []).append(span)
 
+    placed = {}  # sid -> (ts, dur, tid), for the causal flow arrows
     tid = 0
     for component in sorted(by_component):
         spans = by_component[component]
@@ -88,6 +89,7 @@ def _emit_spans(events, telemetry):
         for span in spans:
             span_tid = tid + lane_of[span.sid]
             dur = span.end - span.start
+            placed[span.sid] = (span.start, max(dur, 1), span_tid)
             events.append({
                 "ph": "X", "pid": PID_SPANS, "tid": span_tid,
                 "ts": span.start, "dur": max(dur, 1),
@@ -105,6 +107,44 @@ def _emit_spans(events, telemetry):
                     "args": {"sid": span.sid},
                 })
         tid += lane_count
+    return placed
+
+
+def _emit_flows(events, telemetry, placed):
+    """Flow arrows between causally linked spans.
+
+    The lineage blame walk records ``(enclosing sid, caused sid)`` pairs
+    whenever two spans' critical paths share a causal record. Each pair
+    becomes one Chrome flow: ``"s"`` anchored on the earlier (caused)
+    span, ``"f"`` (binding-point ``"e"``: enclosing slice) on the later
+    one. Arrows with either endpoint outside the emitted span set are
+    skipped — the validator rejects dangling flows.
+    """
+    lineage = getattr(telemetry, "lineage", None)
+    if lineage is None or not lineage.flows:
+        return
+    flow_id = 0
+    for parent_sid, child_sid in lineage.flows:
+        parent = placed.get(parent_sid)
+        child = placed.get(child_sid)
+        if parent is None or child is None:
+            continue
+        parent_ts, parent_dur, parent_tid = parent
+        child_ts, _child_dur, child_tid = child
+        flow_id += 1
+        events.append({
+            "ph": "s", "pid": PID_SPANS, "tid": child_tid,
+            "ts": child_ts, "id": flow_id,
+            "name": "cause", "cat": "flow",
+        })
+        # clamp into the destination slice so the binding is unambiguous;
+        # child_ts <= parent end always (the child closed first), so the
+        # arrow never points backwards in time.
+        events.append({
+            "ph": "f", "bp": "e", "pid": PID_SPANS, "tid": parent_tid,
+            "ts": min(max(child_ts, parent_ts), parent_ts + parent_dur),
+            "id": flow_id, "name": "cause", "cat": "flow",
+        })
 
 
 def _emit_transitions(events, telemetry):
@@ -235,7 +275,8 @@ def build_trace(telemetry, fault_plan=None, label=""):
     _meta(events, PID_COUNTERS, "counters")
     _meta(events, PID_COUNTERS, "counters", tid=0)
 
-    _emit_spans(events, telemetry)
+    placed = _emit_spans(events, telemetry)
+    _emit_flows(events, telemetry, placed)
     _emit_transitions(events, telemetry)
     _emit_faults(events, telemetry, fault_plan)
     _emit_counters(events, telemetry)
@@ -254,8 +295,9 @@ def build_trace(telemetry, fault_plan=None, label=""):
 
 
 #: Event phases we emit; validation rejects anything else.
-_KNOWN_PHASES = {"X", "i", "C", "M"}
+_KNOWN_PHASES = {"X", "i", "C", "M", "s", "t", "f"}
 _INSTANT_SCOPES = {"g", "p", "t"}
+_FLOW_PHASES = {"s", "t", "f"}
 
 
 def validate_trace(payload):
@@ -271,6 +313,11 @@ def validate_trace(payload):
     events = payload.get("traceEvents")
     if not isinstance(events, list):
         return ["missing or non-list traceEvents"]
+    # flow bookkeeping: every bind id needs a start ("s") and a terminal
+    # ("f"); steps ("t") may only ride an id that has both
+    flow_starts = {}
+    flow_ends = {}
+    flow_steps = {}
     for index, event in enumerate(events):
         where = f"traceEvents[{index}]"
         if not isinstance(event, dict):
@@ -302,6 +349,20 @@ def validate_trace(payload):
         elif ph == "i":
             if event.get("s", "t") not in _INSTANT_SCOPES:
                 problems.append(f"{where}: instant scope {event.get('s')!r}")
+        elif ph in _FLOW_PHASES:
+            bind = event.get("id")
+            if not isinstance(bind, (int, str)):
+                problems.append(f"{where}: flow event needs an id, "
+                                f"got {bind!r}")
+                continue
+            if ph == "f" and event.get("bp", "e") != "e":
+                problems.append(
+                    f"{where}: flow finish bp must be 'e', "
+                    f"got {event.get('bp')!r}"
+                )
+            bucket = (flow_starts if ph == "s"
+                      else flow_ends if ph == "f" else flow_steps)
+            bucket.setdefault(bind, index)
         elif ph == "C":
             args = event.get("args")
             if not isinstance(args, dict) or not args:
@@ -323,6 +384,24 @@ def validate_trace(payload):
                     f"{where}: fault-window needs numeric args.rate in "
                     f"[0, 1], got {rate!r}"
                 )
+    for bind, index in sorted(flow_starts.items(), key=lambda kv: kv[1]):
+        if bind not in flow_ends:
+            problems.append(
+                f"traceEvents[{index}]: flow id {bind!r} starts but "
+                f"never finishes (dangling arrow)"
+            )
+    for bind, index in sorted(flow_ends.items(), key=lambda kv: kv[1]):
+        if bind not in flow_starts:
+            problems.append(
+                f"traceEvents[{index}]: flow id {bind!r} finishes "
+                f"without a start (dangling arrow)"
+            )
+    for bind, index in sorted(flow_steps.items(), key=lambda kv: kv[1]):
+        if bind not in flow_starts or bind not in flow_ends:
+            problems.append(
+                f"traceEvents[{index}]: flow step id {bind!r} lacks a "
+                f"matching start/finish"
+            )
     return problems
 
 

@@ -80,6 +80,16 @@ class FlightRecorder:
                     for tick, component, ctype, state, event
                     in obs.transitions[-self.tail:]
                 ]
+            lineage = getattr(obs, "lineage", None)
+            if lineage is not None:
+                open_spans = obs.spans.open_spans()
+                if open_spans:
+                    # The failing transaction is almost always the oldest
+                    # open span; ship where its time went so far.
+                    oldest = min(open_spans, key=lambda s: (s.start, s.sid))
+                    record["critical_path"] = lineage.partial_blame(
+                        oldest, sim.tick
+                    )
         return record
 
     def __len__(self):

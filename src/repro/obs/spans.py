@@ -96,6 +96,10 @@ class SpanRecorder:
         self._open = {}
         self._next_sid = 0
         self._finished_total = 0
+        #: optional ``hook(span)`` invoked exactly once per close, at the
+        #: close tick — the lineage blame walk hangs off this so span
+        #: attribution happens while the causal chain is still hot.
+        self.blame_hook = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -120,6 +124,9 @@ class SpanRecorder:
             span.meta.update(meta)
         self._open.pop(span.sid, None)
         self._finished_total += 1
+        hook = self.blame_hook
+        if hook is not None:
+            hook(span)
         closed = self.closed
         closed.append(span)
         if len(closed) > self.capacity:
@@ -218,7 +225,7 @@ class Telemetry:
     """
 
     def __init__(self, sim, transitions=True, max_transitions=200_000,
-                 span_capacity=250_000):
+                 span_capacity=250_000, lineage=None):
         self.sim = sim
         self.spans = SpanRecorder(capacity=span_capacity)
         self.transitions = [] if transitions else None
@@ -230,12 +237,24 @@ class Telemetry:
         self.series = []
         self.series_interval = 0
         self._finalized = False
+        if lineage is None:
+            lineage = getattr(sim, "lineage_default", False)
+        if lineage:
+            from repro.obs.lineage import LineageTracker
+
+            self.lineage = LineageTracker()
+            self.spans.blame_hook = self.lineage.finish_span
+            sim.lineage = self.lineage
+        else:
+            self.lineage = None
         sim.obs = self
 
     def detach(self):
         """Stop recording: clear the simulator's hub reference."""
         if self.sim.obs is self:
             self.sim.obs = None
+        if self.lineage is not None and self.sim.lineage is self.lineage:
+            self.sim.lineage = None
 
     # -- hook entry points (called from the engine; must stay cheap) -----------
 
@@ -335,6 +354,19 @@ class Telemetry:
         ``repro trace`` surface a warning so truncation is never silent.
         """
         return self.spans.dropped
+
+    def blame_matrix(self, config_label, seed=0, bucket_width=8, top_n=20):
+        """One run's :class:`~repro.obs.lineage.BlameMatrix` from closed spans.
+
+        Empty (but valid and mergeable) when lineage was off — spans then
+        carry no ``blame`` meta and contribute nothing.
+        """
+        from repro.obs.lineage import blame_matrix_from_telemetry
+
+        return blame_matrix_from_telemetry(
+            self, config_label, seed=seed,
+            bucket_width=bucket_width, top_n=top_n,
+        )
 
     def transition_counts(self):
         """Aggregate (ctype, state, event) -> count over the recording."""

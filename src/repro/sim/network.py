@@ -261,6 +261,13 @@ class Network:
             events.cancel_token(dest._wakeup_token)
             dest._wakeup_tick = arrival
             dest._wakeup_token = events.schedule_cb(arrival, dest._wakeup_cb)
+        lineage = sim.lineage
+        if lineage is not None:
+            # `delay + latency` is the modeled wire time; the walk books
+            # the rest of arrival-send (bandwidth queueing, ordered-lane
+            # clamp) as queue_wait. Records live on the tracker, never on
+            # the pooled msg.
+            lineage.record_send(msg, now, arrival, delay + latency)
         return arrival
 
     def _deliver_one(self, dest, buf, msg, arrival, note=""):
@@ -299,6 +306,12 @@ class Network:
         pending = dest._wakeup_tick
         if pending is None or pending > arrival:
             dest.request_wakeup(arrival)
+        lineage = sim.lineage
+        if lineage is not None:
+            # Fault-path deliveries (duplicate replays) have no separate
+            # wire figure; attribute the whole in-flight window to wire.
+            lineage.record_send(msg, msg.send_tick, arrival,
+                                arrival - msg.send_tick)
         return arrival
 
     def broadcast(self, msg_factory, dests, port, delay=0):

@@ -166,6 +166,14 @@ class Simulator:
         #: default) means every instrumentation hook in the engine and the
         #: protocol layer reduces to one attribute load + identity check.
         self.obs = None
+        #: optional :class:`~repro.obs.lineage.LineageTracker`, mirrored
+        #: here by :class:`~repro.obs.Telemetry` when lineage is on so the
+        #: network/controller hooks pay one load + None check when off.
+        self.lineage = None
+        #: default for ``Telemetry(lineage=...)``; set by ``build_system``
+        #: from ``SystemConfig.lineage`` so attaching telemetry later
+        #: (campaigns, golden runs) picks the config's choice up.
+        self.lineage_default = False
         #: out-of-band sampling monitors (e.g. the online invariant
         #: watchdog). A monitor never schedules simulator events, never
         #: touches component stats, and never consumes ``sim.rng`` — the

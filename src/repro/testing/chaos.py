@@ -92,6 +92,7 @@ def run_chaos_campaign(
     rate_limit=None,
     contested_blocks=2,
     telemetry=False,
+    lineage=False,
     series_interval=0,
 ):
     """Run one chaos campaign; returns (:class:`ChaosResult`, system).
@@ -117,7 +118,9 @@ def run_chaos_campaign(
     the simulator — transaction spans, transitions, injected faults, and
     marks are recorded and left on ``system.sim.obs`` (finalized) for
     export; ``series_interval`` additionally samples counter time series
-    every that many ticks.
+    every that many ticks. ``lineage=True`` (requires telemetry) also
+    records the causal message-lineage graph, so every closed span
+    carries a ``blame`` breakdown even under injected link faults.
     """
     plan = _as_plan(faults, seed if fault_seed is None else fault_seed, windows)
     contested = [0x180000 + 64 * i for i in range(contested_blocks)]
@@ -147,6 +150,7 @@ def run_chaos_campaign(
         mem_latency=30,
         rate_limit=rate_limit,
         fault_plan=plan,
+        lineage=lineage,
         tags={"adversary": (adversary, kwargs)},
     )
     system = build_system(config)

@@ -386,7 +386,12 @@ def run_rogue_matrix(
     rows = []
     for template, outcome in zip(templates, run_campaign(campaign_jobs, workers=workers)):
         if outcome.ok:
-            rows.append(outcome.value)
+            row = outcome.value
+            if outcome.forensics is not None and not row.get("forensics"):
+                # fabric forensics_all: the worker kept its black box even
+                # though the campaign succeeded
+                row["forensics"] = outcome.forensics
+            rows.append(row)
         else:
             row = merge_failure_into(template, outcome)
             row["containment"] = "escaped"

@@ -347,6 +347,11 @@ class CrossingGuardBase(CoherenceController):
         if delay:
             self.stats.inc("rate_limited")
             self.request_wakeup(self.sim.tick + delay)
+            lineage = self.sim.lineage
+            if lineage is not None:
+                # Classify the upcoming requeue wait as limiter throttling,
+                # not a protocol stall (one-shot, consumed by requeued()).
+                lineage.requeue_kind = "throttle"
             return RETRY
         if msg.mtype in ACCEL_GET_REQUESTS:
             return self._accel_get(msg, addr)
@@ -640,6 +645,16 @@ class CrossingGuardBase(CoherenceController):
         if timeout is not None:
             timeout.cancel()
         obs = self.sim.obs
+        lineage = self.sim.lineage
+        if lineage is not None:
+            probe_lid = tbe.meta.get("probe_lid", 0)
+            if probe_lid:
+                # The answer (or the give-up timeout) was provoked by our
+                # own Invalidate. A Byzantine or non-protocol endpoint
+                # replies with no handler context, so bridge the causal
+                # chain explicitly before the span's blame walk runs.
+                lineage.adopt_cause(probe_lid)
+                lineage.tip_hint = probe_lid
         if obs is not None:
             span = tbe.meta.get("span")
             if span is not None:
@@ -765,6 +780,9 @@ class CrossingGuardBase(CoherenceController):
             self.stats.inc("quarantine_surrogates")
             return tbe
         self.send_to_accel(AccelMsg.Invalidate, addr)
+        lineage = self.sim.lineage
+        if lineage is not None:
+            tbe.meta["probe_lid"] = lineage.last_lid
         if obs is not None:
             obs.spans.phase(tbe.meta["span"], "forwarded", self.sim.tick)
         tbe.meta["timeout_event"] = self.sim.schedule(
@@ -806,7 +824,15 @@ class CrossingGuardBase(CoherenceController):
                 span = tbe.meta.get("span")
                 if span is not None:
                     obs.spans.phase(span, f"retry_{attempts + 1}", self.sim.tick)
+            lineage = self.sim.lineage
+            if lineage is not None:
+                # The re-issued Invalidate is a timeout product, not caused
+                # by any in-flight message: tag its send site so the blame
+                # walk books the backoff window as retry_backoff.
+                lineage.site_hint = "retry_backoff"
             self.send_to_accel(AccelMsg.Invalidate, addr)
+            if lineage is not None:
+                tbe.meta["probe_lid"] = lineage.last_lid
             wait = min(self.accel_timeout * (2 ** (attempts + 1)), 8 * self.accel_timeout)
             tbe.meta["timeout_event"] = self.sim.schedule(wait, self._probe_timeout, addr)
             return
