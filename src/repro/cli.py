@@ -18,6 +18,9 @@ Commands:
 * ``golden``      — golden-run digests: verify against the committed file,
   prove compiled/legacy dispatch equivalence, or refresh with ``--update``;
 * ``verify``      — exhaustive single-address interface verification;
+* ``explore``     — concrete-state reachability exploration: enumerate all
+  interleavings of small (host x XG-variant) cells on the real simulator,
+  prove G0-G2 exhaustively, cross-check stress coverage vs reachability;
 * ``perf``        — runtime comparison of the cache organizations;
 * ``experiment``  — run one of the table/figure experiments (e1..e12).
 """
@@ -553,6 +556,11 @@ def _cmd_report(args):
     from repro.obs import render_matrix
 
     workers = resolve_workers(args.workers)
+    reachable = None
+    if args.explore_report:
+        from repro.verify.explorer import load_reachable_report
+
+        reachable = load_reachable_report(args.explore_report)
     start = time.perf_counter()
     result = run_stress_coverage(
         seeds=range(args.seeds), ops_per_run=args.ops, workers=workers,
@@ -562,7 +570,7 @@ def _cmd_report(args):
     failures = [r for r in result["runs"] if not r["passed"]]
     print(f"{len(result['runs'])} stress runs, {len(failures)} failures "
           f"({workers} worker{'s' if workers != 1 else ''}, {elapsed:.1f}s)\n")
-    print(render_matrix(result["matrix"]))
+    print(render_matrix(result["matrix"], reachable=reachable))
     if args.lineage:
         from repro.obs import render_blame
 
@@ -627,12 +635,102 @@ def _cmd_top(args):
 
 
 def _cmd_verify(args):
-    from repro.verify import explore
+    from repro.verify import VerificationError, explore
 
+    failures = 0
     for name, allow in (("transactional-style", True), ("full-state-style", False)):
-        stats = explore(allow_probe_when_absent=allow)
-        print(f"{name}: {stats['states']} states, {stats['transitions']} transitions — OK")
-    return 0
+        try:
+            stats = explore(allow_probe_when_absent=allow)
+        except VerificationError as exc:
+            failures += 1
+            print(f"{name}: FAIL — {exc}", file=sys.stderr)
+            continue
+        print(f"{name}: {stats['states']} states, "
+              f"{stats['transitions']} transitions, "
+              f"{stats['quiescent_states']} quiescent — OK")
+    return 1 if failures else 0
+
+
+def _cmd_explore(args):
+    import json
+    import time
+
+    from repro.eval.campaign import resolve_workers
+    from repro.verify.explorer import (
+        cross_check_coverage, explore_cell, run_cell_stress)
+
+    hosts = ["mesi", "hammer", "mesif"] if args.host == "all" else [args.host]
+    variants = (["full_state", "transactional"] if args.variant == "all"
+                else [args.variant])
+    workers = resolve_workers(args.workers) if args.workers else 1
+    cells = []
+    rows = []
+    exit_code = 0
+    for host in hosts:
+        for variant in variants:
+            start = time.perf_counter()
+            progress = None
+            if args.progress:
+                progress = lambda depth, states, frontier, _h=host, _v=variant: print(
+                    f"  {_h}/{_v}: depth {depth}, {states} states, "
+                    f"frontier {frontier}", file=sys.stderr, flush=True)
+            result = explore_cell(
+                host=host, variant=variant, addresses=args.addresses,
+                workers=workers, max_states=args.max_states,
+                check=args.check, progress=progress,
+            )
+            elapsed = time.perf_counter() - start
+            result["elapsed_sec"] = round(elapsed, 2)
+            counterexample = result["counterexample"]
+            if counterexample is not None:
+                status = "FAIL"
+                exit_code = 1
+            elif result["truncated"]:
+                status = "partial"
+            else:
+                status = "proved"
+            crosscheck = "-"
+            if args.cross_check and counterexample is None and not result["truncated"]:
+                problems = []
+                for seed in range(args.cross_check):
+                    covered = run_cell_stress(result["cell"], seed=seed,
+                                              ops=args.stress_ops)
+                    problems.extend(cross_check_coverage(result, covered))
+                if problems:
+                    crosscheck = "FAIL"
+                    exit_code = 1
+                    result["cross_check_failures"] = [
+                        {"ctype": ctype, "transitions": pairs}
+                        for ctype, pairs in problems
+                    ]
+                else:
+                    crosscheck = f"ok ({args.cross_check} seeds)"
+            rows.append([
+                f"{host}/{variant}", result["states"], result["transitions"],
+                result["quiescent_states"], result["depth"], status,
+                crosscheck, f"{elapsed:.1f}s",
+            ])
+            cells.append(result)
+            if counterexample is not None:
+                print(f"counterexample in {host}/{variant}: "
+                      f"{counterexample['reason']}", file=sys.stderr)
+                for step in counterexample["path"]:
+                    print(f"    {step}", file=sys.stderr)
+    print(format_table(
+        ["cell", "states", "transitions", "quiescent", "depth", "G0-G2",
+         "cross-check", "time"],
+        rows,
+        title=f"reachability exploration ({args.addresses} address(es), "
+              f"{workers} worker(s))",
+    ))
+    if args.out:
+        payload = {"addresses": args.addresses, "workers": workers,
+                   "max_states": args.max_states, "cells": cells}
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.out}")
+    return exit_code
 
 
 def _cmd_perf(args):
@@ -937,6 +1035,12 @@ def build_parser():
     report.add_argument("--lineage", action="store_true",
                         help="also record causal lineage and append the "
                              "blame breakdown (see `repro blame`)")
+    report.add_argument("--explore-report", dest="explore_report", default=None,
+                        metavar="PATH",
+                        help="explore_report.json from `repro explore -o`: "
+                             "filters the uncovered-transition lists down to "
+                             "transitions proven reachable (the authoritative "
+                             "coverage holes)")
     report.set_defaults(fn=_cmd_report)
 
     blame = sub.add_parser(
@@ -971,6 +1075,44 @@ def build_parser():
 
     verify = sub.add_parser("verify", help="exhaustive interface verification")
     verify.set_defaults(fn=_cmd_verify)
+
+    explore = sub.add_parser(
+        "explore",
+        help="concrete-state reachability exploration of the real simulator",
+    )
+    explore.add_argument("--host", default="mesi",
+                         choices=["mesi", "hammer", "mesif", "all"])
+    explore.add_argument("--variant", default="full_state",
+                         choices=["full_state", "transactional", "all"])
+    explore.add_argument("--addresses", type=int, default=1, choices=[1, 2],
+                         help="explored block addresses (2 adds replacement "
+                              "interleavings; much larger space)")
+    explore.add_argument("--workers", type=int, default=None,
+                         help="shard each BFS level over N campaign "
+                              "processes (default: serial; digests are "
+                              "byte-identical either way)")
+    explore.add_argument("--max-states", dest="max_states", type=int,
+                         default=100_000,
+                         help="truncate the search after N canonical states "
+                              "(result marked partial, never wrong)")
+    explore.add_argument("--check", default=None,
+                         help="extra named per-state check from the "
+                              "explorer registry (used to demo "
+                              "counterexample traces)")
+    explore.add_argument("--cross-check", dest="cross_check", type=int,
+                         default=0, metavar="SEEDS",
+                         help="after a complete proof, run N seeded stress "
+                              "runs on the same cell and verify every "
+                              "covered transition is reachable")
+    explore.add_argument("--stress-ops", dest="stress_ops", type=int,
+                         default=200,
+                         help="ops per cross-check stress run")
+    explore.add_argument("--progress", action="store_true",
+                         help="per-level progress on stderr")
+    explore.add_argument("-o", "--out", default=None, metavar="PATH",
+                         help="write explore_report.json (feed to "
+                              "`repro report --explore-report`)")
+    explore.set_defaults(fn=_cmd_explore)
 
     perf = sub.add_parser("perf", help="runtime by cache organization")
     perf.add_argument("--workloads", nargs="*", default=None)

@@ -232,6 +232,70 @@ class CoherenceController(Component):
         """Declared (state, event) pairs — the coverage denominator."""
         return set(self.transitions) - self.coverage_exempt
 
+    # -- explorer hooks ---------------------------------------------------------
+
+    def transition_relation(self):
+        """Declared transitions as sorted (state name, event name) pairs.
+
+        The compiled dispatch table *is* the guarded-action transition
+        relation; this projects it to plain strings so the reachability
+        explorer can compare it against coverage and reachability sets
+        without importing per-protocol enums.
+        """
+        return sorted(
+            (getattr(s, "name", str(s)), getattr(e, "name", str(e)))
+            for s, e in self.possible_transitions()
+        )
+
+    def covered_transitions(self):
+        """Executed transitions as sorted (state name, event name) pairs."""
+        return sorted(
+            (getattr(s, "name", str(s)), getattr(e, "name", str(e)))
+            for s, e in self.coverage
+        )
+
+    def snapshot_state(self):
+        """Logical protocol state of this controller as plain data.
+
+        Captures everything that determines future behavior — resident
+        cache entries, open TBEs, stalled messages, visible port contents
+        — and nothing that merely records history (ticks, uids, LRU
+        clocks, stats). Subclasses with extra mutable protocol state
+        (e.g. a directory's owner map, the XG mirror) extend it via
+        :meth:`snapshot_extra`.
+        """
+        from repro.coherence.snapshot import (
+            snap_cache_entry, snap_message, snap_tbe)
+
+        snap = {}
+        cache = getattr(self, "cache", None)
+        if cache is not None:
+            snap["cache"] = {
+                entry.addr: snap_cache_entry(entry)
+                for entry in cache.entries()
+            }
+        tbes = getattr(self, "tbes", None)
+        if tbes is not None:
+            snap["tbes"] = {tbe.addr: snap_tbe(tbe) for tbe in tbes}
+        if self._stalled:
+            snap["stalled"] = {
+                key: tuple((port, snap_message(msg)) for port, msg in waiting)
+                for key, waiting in self._stalled.items()
+            }
+        ports = {
+            port: tuple(snap_message(msg) for msg in buf)
+            for port, buf in self.in_ports.items()
+            if len(buf)
+        }
+        if ports:
+            snap["ports"] = ports
+        snap.update(self.snapshot_extra())
+        return snap
+
+    def snapshot_extra(self):
+        """Per-protocol additions to :meth:`snapshot_state` (default none)."""
+        return {}
+
     # -- stall-and-wait ---------------------------------------------------------
 
     def stall_key(self, msg):

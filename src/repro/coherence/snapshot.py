@@ -1,0 +1,104 @@
+"""Logical state snapshots for the reachability explorer.
+
+The explorer (:mod:`repro.verify.explorer`) hashes *logical* system
+states: everything that determines future protocol behavior, and nothing
+that merely records how we got here. These helpers turn live objects —
+cache entries, TBEs, messages, per-protocol ``meta`` dicts — into plain,
+hashable, deterministic tuples with the volatile parts stripped:
+
+* tick values, message uids, span/lineage handles, LRU clocks and
+  event-cancel tokens never enter a snapshot (two runs reaching the same
+  protocol state at different ticks must hash identically);
+* enums become their ``name``, sets become sorted tuples, data blocks
+  become bytes, nested dicts become sorted key/value tuples;
+* unknown objects fall back to ``repr`` — safe for the small config
+  cells the explorer drives, and loud in a diff if something volatile
+  ever leaks through.
+"""
+
+import enum
+
+#: TBE/entry ``meta`` keys that hold scheduling artifacts (event cancel
+#: tokens, telemetry spans, lineage ids) rather than protocol state.
+VOLATILE_META_KEYS = frozenset({
+    "timeout_event",
+    "span",
+    "span_status",
+    "probe_lid",
+})
+
+
+def snap_value(value):
+    """Convert one value to a deterministic, hashable representation."""
+    if value is None or isinstance(value, (bool, int, str, bytes, float)):
+        return value
+    if isinstance(value, enum.Enum):
+        return value.name
+    # Message carriers appear in meta ("accel_req", TBE.origin) and in
+    # channel contents; duck-type on the pooled Message slots.
+    if hasattr(value, "mtype") and hasattr(value, "uid"):
+        return snap_message(value)
+    if hasattr(value, "to_bytes") and hasattr(value, "write"):  # DataBlock
+        return bytes(value.to_bytes())
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(snap_value(v) for v in value))
+    if isinstance(value, dict):
+        return snap_meta(value)
+    if isinstance(value, (list, tuple)):
+        return tuple(snap_value(v) for v in value)
+    return repr(value)
+
+
+def snap_message(msg):
+    """Logical content of a message: type/addr/parties/payload, no uid."""
+    data = msg.data
+    return (
+        "msg",
+        getattr(msg.mtype, "name", str(msg.mtype)),
+        msg.addr,
+        msg.sender,
+        msg.dest,
+        msg.requestor,
+        msg.value,
+        msg.ack_count,
+        bool(msg.dirty),
+        bool(msg.shared_hint),
+        None if data is None else bytes(data.to_bytes()),
+    )
+
+
+def snap_meta(meta):
+    """Sorted (key, value) tuple of a ``meta`` dict, volatile keys dropped."""
+    return tuple(sorted(
+        (key, snap_value(value))
+        for key, value in meta.items()
+        if key not in VOLATILE_META_KEYS
+    ))
+
+
+def snap_cache_entry(entry):
+    """Logical content of a resident cache entry (LRU clock excluded)."""
+    return (
+        getattr(entry.state, "name", str(entry.state)),
+        bytes(entry.data.to_bytes()) if entry.data is not None else None,
+        bool(entry.dirty),
+        getattr(entry.permission, "name", entry.permission),
+        snap_meta(entry.meta),
+    )
+
+
+def snap_tbe(tbe):
+    """Logical content of a TBE (``opened_at`` tick excluded)."""
+    return (
+        getattr(tbe.state, "name", str(tbe.state)),
+        bytes(tbe.data.to_bytes()) if tbe.data is not None else None,
+        bool(tbe.dirty),
+        tbe.acks_needed,
+        tbe.acks_received,
+        tbe.responses_received,
+        bool(tbe.data_received),
+        tbe.requestor,
+        None if tbe.origin is None else snap_message(tbe.origin),
+        getattr(tbe.permission, "name", tbe.permission),
+        snap_meta(tbe.meta),
+    )

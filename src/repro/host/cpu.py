@@ -128,3 +128,16 @@ class Sequencer(Component):
         if not self.outstanding:
             return None
         return min(record.issued_at for record in self.outstanding.values())
+
+    def snapshot_state(self):
+        """Logical outstanding-op set for the reachability explorer.
+
+        Issue ticks and message uids are history, not state: two runs
+        with the same ops in flight must snapshot identically.
+        """
+        return {
+            "outstanding": tuple(sorted(
+                (record.msg.addr, record.msg.mtype.name, record.msg.value)
+                for record in self.outstanding.values()
+            )),
+        }

@@ -101,14 +101,26 @@ class CellSummary:
             return 1.0
         return visited / possible
 
-    def missing_transitions(self):
-        """(ctype, state name, event name) tuples never executed."""
+    def missing_transitions(self, reachable=None):
+        """(ctype, state name, event name) tuples never executed.
+
+        ``reachable`` — an optional ``{ctype: {(state, event), ...}}``
+        mapping from the reachability explorer
+        (:func:`repro.verify.explorer.load_reachable_report`) — filters
+        the list down to transitions *proven reachable*: declared table
+        rows the explorer showed no run can ever execute are dead code,
+        not coverage holes. Controller types the explorer has no data
+        for pass through unfiltered.
+        """
         out = []
         for ctype, report in sorted(self.coverage.items()):
+            known = None if reachable is None else reachable.get(ctype)
             for state, event in report.missing:
-                out.append((ctype,
-                            getattr(state, "name", str(state)),
-                            getattr(event, "name", str(event))))
+                names = (getattr(state, "name", str(state)),
+                         getattr(event, "name", str(event)))
+                if known is not None and names not in known:
+                    continue
+                out.append((ctype,) + names)
         return sorted(out)
 
     def __repr__(self):
@@ -197,15 +209,31 @@ def render_statuses(matrix):
                         title="span outcomes")
 
 
-def render_missing(matrix, limit=12):
-    """The transitions each cell never executed (coverage holes)."""
+def render_missing(matrix, limit=12, reachable=None):
+    """The transitions each cell never executed (coverage holes).
+
+    With ``reachable`` (explorer output) the list becomes authoritative:
+    only reachable-but-uncovered transitions are reported, and the count
+    of proven-unreachable table rows is shown separately.
+    """
     lines = []
     for key in sorted(matrix.cells):
-        missing = matrix.cells[key].missing_transitions()
+        cell = matrix.cells[key]
+        missing = cell.missing_transitions(reachable)
+        excluded = 0
+        if reachable is not None:
+            excluded = len(cell.missing_transitions()) - len(missing)
         if not missing:
+            if excluded:
+                lines.append(f"{key}: 0 reachable uncovered transition(s) "
+                             f"({excluded} proven unreachable excluded)")
             continue
         shown = missing[:limit]
-        lines.append(f"{key}: {len(missing)} uncovered transition(s)")
+        label = ("uncovered reachable transition(s)" if reachable is not None
+                 else "uncovered transition(s)")
+        tail = (f" ({excluded} proven unreachable excluded)"
+                if excluded else "")
+        lines.append(f"{key}: {len(missing)} {label}{tail}")
         for ctype, state, event in shown:
             lines.append(f"    {ctype}: {state} x {event}")
         if len(missing) > len(shown):
@@ -290,8 +318,14 @@ def render_blame(blame, top=5):
     return "\n\n".join(sections)
 
 
-def render_matrix(matrix, percentiles=(50, 90, 99), missing_limit=12):
-    """Full report: heatmap, latency percentiles, outcomes, holes."""
+def render_matrix(matrix, percentiles=(50, 90, 99), missing_limit=12,
+                  reachable=None):
+    """Full report: heatmap, latency percentiles, outcomes, holes.
+
+    ``reachable`` (see :meth:`CellSummary.missing_transitions`) upgrades
+    the coverage-hole section to the explorer-authoritative uncovered
+    list.
+    """
     sections = [render_heatmap(matrix), render_latencies(matrix, percentiles)]
     statuses = render_statuses(matrix)
     if statuses:
@@ -299,5 +333,6 @@ def render_matrix(matrix, percentiles=(50, 90, 99), missing_limit=12):
     warning = render_dropped_warning(matrix)
     if warning:
         sections.append(warning)
-    sections.append(render_missing(matrix, limit=missing_limit))
+    sections.append(render_missing(matrix, limit=missing_limit,
+                                   reachable=reachable))
     return "\n\n".join(sections)

@@ -77,6 +77,10 @@ class HammerDirectory(CoherenceController):
     def owner_of(self, addr):
         return self.owners.get(self.align(addr))
 
+    def snapshot_extra(self):
+        """The owner map is directory state the base snapshot can't see."""
+        return {"owners": dict(self.owners)}
+
     def _send(self, mtype, addr, dest, port, **kw):
         msg = Message(mtype, addr, sender=self.name, dest=dest, **kw)
         self.net.send(msg, port)

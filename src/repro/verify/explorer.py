@@ -1,0 +1,770 @@
+"""Exhaustive concrete-state reachability explorer.
+
+Where :mod:`repro.verify.model` proves the XG<->accelerator *interface*
+correct on an abstract single-address automaton, this module enumerates
+the state space of the **real** simulator: actual controllers, compiled
+dispatch tables, TBEs, the XG mirror, pooled messages — everything.
+
+The trick is turning a discrete-event simulator into a guarded-action
+transition system:
+
+* both networks' ``send`` is shadowed per-instance so every message is
+  **parked** instead of delivered — the in-flight channel contents
+  become explicit explorer state;
+* a *step* is one nondeterministic choice: deliver one parked message
+  (ordered lanes expose only their oldest message; the unordered host
+  net exposes all), or issue a load/store on an idle sequencer;
+* after each step the simulator **settles**: deterministic continuations
+  (memory latency callbacks, sequencer completions, wakeups) drain until
+  the only remaining events are beyond the settle horizon — probe
+  timeouts are pushed past it by a huge ``accel_timeout``, so a settled
+  state is uniquely determined by the choice sequence;
+* states are canonically hashed from logical snapshots
+  (:mod:`repro.coherence.snapshot`) minimized under **symmetry** — CPU
+  core permutation and address renaming;
+* every state is checked: the XG error log must stay empty (a correct
+  accelerator must never trip G0-G2), quiescent states must satisfy
+  :func:`repro.testing.invariants.check_all` (single writer, value
+  consistency, mirror consistency), non-quiescent states must have a
+  deliverable message (deadlock freedom), and parked channels are
+  bounded.
+
+States are *reconstructed by replay*: a frontier node is the choice path
+from the reset state, re-executed deterministically. That makes frontier
+slices picklable — the BFS fans out over the campaign executor
+(:func:`repro.eval.campaign.run_campaign`) with byte-identical
+visited-set digests for any worker count — and makes every
+counterexample a replayable trace on the live simulator by construction.
+"""
+
+import hashlib
+from dataclasses import replace as dc_replace
+
+from repro.coherence.controller import ProtocolError
+from repro.coherence.snapshot import snap_message
+from repro.eval.campaign import CampaignJob, run_campaign, shard_evenly
+from repro.host.config import AccelOrg, HostProtocol, SystemConfig
+from repro.host.system import build_system
+from repro.sim.simulator import DeadlockError
+from repro.testing.invariants import InvariantError, check_all
+from repro.xg.interface import XGVariant
+
+#: Block-aligned addresses the explorer drives (block size 64). Chosen
+#: so the integers cannot collide with small protocol counters inside a
+#: snapshot — address renaming must be a total bijection over every int
+#: it touches.
+ADDRESS_POOL = (0x40, 0x80)
+
+#: Every store writes the same value regardless of core or address, so
+#: data blocks never break core-permutation or address-renaming symmetry.
+STORE_VALUE = 0x5A
+
+#: Settle horizon in ticks: deterministic continuations (memory reads,
+#: response latencies, network-free wakeups) all land well within this;
+#: the XG probe timeout is configured orders of magnitude beyond it.
+SETTLE_GAP = 1 << 16
+
+#: Probe timeout for explorer cells — far past the settle horizon, so a
+#: timeout can never fire mid-exploration and G2c paths stay out of the
+#: transition relation (they are fault-model behavior, not interface
+#: behavior).
+EXPLORER_ACCEL_TIMEOUT = 1 << 30
+
+#: Bound on simultaneously parked (in-flight) messages; a run past this
+#: is an unbounded-channel violation, mirroring the abstract model's
+#: ``_CHANNEL_BOUND``.
+DEFAULT_CHANNEL_BOUND = 32
+
+HOSTS = {
+    "mesi": HostProtocol.MESI,
+    "hammer": HostProtocol.HAMMER,
+    "mesif": HostProtocol.MESIF,
+}
+
+VARIANTS = {
+    "full_state": XGVariant.FULL_STATE,
+    "transactional": XGVariant.TRANSACTIONAL,
+}
+
+
+class ExplorationError(RuntimeError):
+    """The explorer itself failed (bad replay, settle runaway, shard crash)."""
+
+
+#: Registry of named per-state checks: ``name -> fn(harness) -> str | None``.
+#: Names (not callables) cross process boundaries with frontier shards.
+CHECKS = {}
+
+
+def register_check(name, fn):
+    """Register a named per-state check usable via ``check=name``."""
+    CHECKS[name] = fn
+    return fn
+
+
+def _check_accel_never_owns(harness):
+    """Deliberately FALSE invariant used to exercise the counterexample
+    pipeline end to end: a correct accelerator *does* reach E/M, so the
+    explorer must find a replayable trace that violates this quickly."""
+    for cache in harness.system.accel_caches:
+        array = getattr(cache, "cache", None)
+        if array is None:
+            continue
+        for entry in array.entries():
+            if getattr(entry.state, "name", "") in ("E", "M"):
+                return (f"{cache.name} holds {entry.addr:#x} in "
+                        f"{entry.state.name} (demo invariant)")
+    return None
+
+
+register_check("demo_accel_never_owns", _check_accel_never_owns)
+
+
+def cell_config(host="mesi", variant="full_state", addresses=1, n_cpus=2):
+    """The small concrete config one explorer cell drives.
+
+    Single-set single-way L1s make replacements reachable with two
+    addresses; the shared L2 gets one extra way so *its* evictions stay
+    out of scope (they multiply the space without touching the XG link).
+    """
+    return SystemConfig(
+        host=HOSTS[host],
+        org=AccelOrg.XG,
+        xg_variant=VARIANTS[variant],
+        accel_levels=1,
+        n_cpus=n_cpus,
+        n_accel_cores=1,
+        n_accelerators=1,
+        cpu_l1_sets=1,
+        cpu_l1_assoc=1,
+        shared_l2_sets=1,
+        shared_l2_assoc=2 if addresses > 1 else 1,
+        accel_l1_sets=1,
+        accel_l1_assoc=1,
+        accel_timeout=EXPLORER_ACCEL_TIMEOUT,
+        deadlock_threshold=None,
+        invariant_interval=0,
+        metrics=False,
+        trace_depth=0,
+        seed=0,
+    )
+
+
+class _ParkedMessage:
+    __slots__ = ("net", "port", "msg", "lane")
+
+    def __init__(self, net, port, msg):
+        self.net = net
+        self.port = port
+        self.msg = msg
+        # FIFO lane the real network would clamp (Network.send orders
+        # per (sender, dest) when ordered=True)
+        self.lane = (net.name, msg.sender, msg.dest)
+
+
+class ExplorerHarness:
+    """One live simulator instance with explorer control installed."""
+
+    def __init__(self, cell, channel_bound=DEFAULT_CHANNEL_BOUND):
+        self.cell = dict(cell)
+        self.addresses = list(ADDRESS_POOL[: self.cell.get("addresses", 1)])
+        self.channel_bound = channel_bound
+        self.config = cell_config(**self.cell)
+        self.system = build_system(self.config)
+        self.sim = self.system.sim
+        self.parked = []
+        for net in (self.system.host_net, self.system.accel_net):
+            self._install_park(net)
+        self._core_maps = self._build_core_maps()
+        self._settle()
+
+    # -- network parking ------------------------------------------------------
+
+    def _install_park(self, net):
+        parked = self.parked
+        sim = self.sim
+
+        def park_send(msg, port, delay=0, _net=net):
+            parked.append(_ParkedMessage(_net, port, msg))
+            return sim.tick + 1
+
+        # Instance attribute shadows the bound method; ``broadcast``
+        # routes through ``self.send`` so fan-out parks per-copy too.
+        net.send = park_send
+
+    # -- deterministic settle -------------------------------------------------
+
+    def _settle(self):
+        sim = self.sim
+        for _ in range(100_000):
+            tick = sim.events.peek_tick()
+            if tick is None or tick - sim.tick > SETTLE_GAP:
+                return
+            sim.run(max_ticks=tick, final_check=False)
+        raise ExplorationError("settle did not converge within 100000 rounds")
+
+    # -- choice enumeration ---------------------------------------------------
+
+    def enabled_actions(self):
+        """Every nondeterministic choice from the current settled state."""
+        actions = []
+        for index, seq in enumerate(self.system.sequencers):
+            if seq.outstanding:
+                continue  # one op in flight per core bounds the space
+            for addr in self.addresses:
+                actions.append(("issue", index, "load", addr))
+                actions.append(("issue", index, "store", addr))
+        seen_lanes = set()
+        for index, parked in enumerate(self.parked):
+            if parked.net.ordered:
+                if parked.lane in seen_lanes:
+                    continue  # FIFO lane: only the oldest is deliverable
+                seen_lanes.add(parked.lane)
+            actions.append((
+                "deliver", index,
+                parked.msg.sender, parked.msg.dest,
+                getattr(parked.msg.mtype, "name", str(parked.msg.mtype)),
+            ))
+        return actions
+
+    def apply(self, action):
+        """Execute one choice, then settle. Raises on a stale replay."""
+        action = tuple(action)
+        kind = action[0]
+        if kind == "issue":
+            _, seq_index, op, addr = action
+            seq = self.system.sequencers[seq_index]
+            if seq.outstanding:
+                raise ExplorationError(f"replay divergence: {seq.name} busy")
+            if op == "load":
+                seq.load(addr)
+            elif op == "store":
+                seq.store(addr, STORE_VALUE)
+            else:
+                raise ExplorationError(f"unknown op {op!r}")
+        elif kind == "deliver":
+            index = action[1]
+            if index >= len(self.parked):
+                raise ExplorationError("replay divergence: parked index gone")
+            parked = self.parked.pop(index)
+            msg = parked.msg
+            if len(action) > 3 and (msg.sender, msg.dest) != action[2:4]:
+                raise ExplorationError(
+                    f"replay divergence: parked[{index}] is "
+                    f"{msg.sender}->{msg.dest}, trace says "
+                    f"{action[2]}->{action[3]}")
+            dest = parked.net._endpoints[msg.dest]
+            dest.deliver(parked.port, self.sim.tick + 1, msg)
+        else:
+            raise ExplorationError(f"unknown action kind {kind!r}")
+        self._settle()
+
+    # -- state predicates -----------------------------------------------------
+
+    def is_quiescent(self):
+        """No parked messages, pending work, open TBEs, or stalls."""
+        if self.parked:
+            return False
+        for seq in self.system.sequencers:
+            if seq.outstanding:
+                return False
+        for comp in self.sim.components:
+            if comp.next_pending_tick() is not None:
+                return False
+            tbes = getattr(comp, "tbes", None)
+            if tbes is not None and len(tbes):
+                return False
+            stalled = getattr(comp, "stalled_count", None)
+            if stalled is not None and comp.stalled_count():
+                return False
+        return True
+
+    def state_problems(self, check=None):
+        """All safety-check failures of the current state (empty = clean)."""
+        problems = []
+        for log in self.system.error_logs:
+            if len(log):
+                record = log.errors[0]
+                problems.append(
+                    f"XG guarantee violated: {record.guarantee.name} "
+                    f"addr={record.addr:#x}: {record.description}")
+        if len(self.parked) > self.channel_bound:
+            problems.append(
+                f"channel bound exceeded: {len(self.parked)} parked "
+                f"messages > {self.channel_bound}")
+        if self.is_quiescent():
+            try:
+                check_all(self.system)
+            except InvariantError as exc:
+                problems.append(f"quiescent invariant violated: {exc}")
+        if check is not None:
+            fn = CHECKS.get(check)
+            if fn is None:
+                raise ExplorationError(f"unknown check {check!r}")
+            message = fn(self)
+            if message:
+                problems.append(f"check {check!r} failed: {message}")
+        return problems
+
+    # -- coverage / projection harvest ---------------------------------------
+
+    def covered_pairs(self):
+        """Fired transitions so far, grouped by controller type."""
+        out = {}
+        for comp in self.system.controllers():
+            pairs = out.setdefault(comp.CONTROLLER_TYPE, set())
+            pairs.update(comp.covered_transitions())
+        return out
+
+    def transition_relation(self):
+        """Declared transitions, grouped by controller type."""
+        out = {}
+        for comp in self.system.controllers():
+            pairs = out.setdefault(comp.CONTROLLER_TYPE, set())
+            pairs.update(comp.transition_relation())
+        return out
+
+    def link_projection(self):
+        """(accel L1 state, mirror state) letter pairs per address.
+
+        The concrete counterpart of the abstract model's ``(accel,
+        mirror)`` fields — the differential test requires every pair seen
+        here to be reachable in :mod:`repro.verify.model`. Empty for
+        TRANSACTIONAL cells (no mirror to project).
+        """
+        pairs = set()
+        for xg, caches, _accel_l2 in self.system.xg_groups:
+            if xg.mirror is None:
+                continue
+            for addr in self.addresses:
+                accel = "I"
+                for cache in caches:
+                    array = getattr(cache, "cache", None)
+                    if array is None:
+                        continue
+                    entry = array.lookup(addr, touch=False)
+                    if entry is not None:
+                        accel = getattr(entry.state, "name", str(entry.state))
+                    tbes = getattr(cache, "tbes", None)
+                    if tbes is not None and addr in tbes:
+                        accel = "B"  # request in flight: the abstract transient
+                mirror_entry = xg.mirror.get(addr)
+                mirror = "I" if mirror_entry is None else mirror_entry.accel_state
+                pairs.add((accel, mirror))
+        return pairs
+
+    # -- canonical hashing ----------------------------------------------------
+
+    def _build_core_maps(self):
+        """All CPU-core renamings as exact-string maps (identity included)."""
+        from itertools import permutations
+
+        seqs = [seq.name for seq in self.system.cpu_seqs]
+        caches = [cache.name for cache in self.system.cpu_caches]
+        maps = []
+        for perm in permutations(range(len(seqs))):
+            mapping = {}
+            for source, target in enumerate(perm):
+                if source == target:
+                    continue
+                mapping[seqs[source]] = seqs[target]
+                mapping[caches[source]] = caches[target]
+            maps.append(mapping)
+        return maps
+
+    def snapshot(self):
+        """Logical full-system state as plain data (no ticks, no uids)."""
+        components = {}
+        for comp in self.sim.components:
+            hook = getattr(comp, "snapshot_state", None)
+            if hook is not None:
+                state = hook()
+                if state:
+                    components[comp.name] = state
+        ordered_lanes = {}
+        unordered = []
+        for parked in self.parked:
+            desc = (parked.net.name, parked.port, snap_message(parked.msg))
+            if parked.net.ordered:
+                ordered_lanes.setdefault(parked.lane, []).append(desc)
+            else:
+                unordered.append(desc)
+        return {
+            "components": components,
+            "memory": {
+                addr: bytes(self.system.memory.peek(addr).to_bytes())
+                for addr in self.addresses
+            },
+            # FIFO lanes keep their order; the unordered channel is a
+            # multiset, so sort it into a canonical sequence
+            "lanes": {lane: tuple(msgs) for lane, msgs in ordered_lanes.items()},
+            "bag": tuple(sorted(unordered, key=repr)),
+        }
+
+    def canonical(self):
+        """Canonical state text: min over core and address renamings."""
+        snap = self.snapshot()
+        best = None
+        from itertools import permutations
+
+        for name_map in self._core_maps:
+            for addr_perm in permutations(self.addresses):
+                addr_map = dict(zip(self.addresses, addr_perm))
+                text = repr(_freeze(_rename(snap, name_map, addr_map)))
+                if best is None or text < best:
+                    best = text
+        return best
+
+    def digest(self):
+        return _sha(self.canonical())
+
+
+def _rename(obj, name_map, addr_map):
+    """Apply the symmetry renaming to every string and int in a snapshot."""
+    if isinstance(obj, str):
+        return name_map.get(obj, obj)
+    if isinstance(obj, bool) or obj is None or isinstance(obj, (bytes, float)):
+        return obj
+    if isinstance(obj, int):
+        return addr_map.get(obj, obj)
+    if isinstance(obj, dict):
+        return {
+            _rename(key, name_map, addr_map): _rename(value, name_map, addr_map)
+            for key, value in obj.items()
+        }
+    if isinstance(obj, (list, tuple)):
+        return tuple(_rename(value, name_map, addr_map) for value in obj)
+    return obj
+
+
+def _freeze(obj):
+    """Deterministic hashable form: dicts become sorted item tuples."""
+    if isinstance(obj, dict):
+        items = [(_freeze(key), _freeze(value)) for key, value in obj.items()]
+        return ("dict", tuple(sorted(items, key=repr)))
+    if isinstance(obj, (list, tuple)):
+        return ("tuple", tuple(_freeze(value) for value in obj))
+    return obj
+
+
+def _sha(text):
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def state_set_digest(visited):
+    """Order-independent digest of a visited-state set.
+
+    Serial and sharded explorations of the same cell must produce the
+    same digest — the acceptance property for parallel frontiers.
+    """
+    return _sha("\n".join(sorted(visited)))
+
+
+# -- frontier expansion (runs in campaign workers) ----------------------------
+
+
+def replay_path(cell, path, channel_bound=DEFAULT_CHANNEL_BOUND):
+    """Rebuild the state at the end of ``path`` on a fresh simulator."""
+    harness = ExplorerHarness(cell, channel_bound=channel_bound)
+    for action in path:
+        harness.apply(action)
+    return harness
+
+
+def _expand_paths(cell, paths, check=None, channel_bound=DEFAULT_CHANNEL_BOUND):
+    """Campaign shard runner: expand each frontier path to its children.
+
+    Returns plain picklable records; the parent BFS merges them in
+    submission order, so sharding never changes the result.
+    """
+    return [
+        _expand_one(cell, tuple(tuple(a) for a in path), check, channel_bound)
+        for path in paths
+    ]
+
+
+def _expand_one(cell, path, check, channel_bound):
+    parent = replay_path(cell, path, channel_bound=channel_bound)
+    record = {
+        "path": [list(a) for a in path],
+        "quiescent": parent.is_quiescent(),
+        "children": [],
+        "violation": None,
+        "covered": {},
+        "projections": set(),
+        "relation": {},
+    }
+
+    def fail(reason, extra_action=None, harness=None):
+        trace = [list(a) for a in path]
+        if extra_action is not None:
+            trace.append(list(extra_action))
+        flagged = harness if harness is not None else parent
+        record["violation"] = {
+            "cell": dict(cell),
+            "path": trace,
+            "reason": reason,
+            "check": check,
+            "canonical": flagged.canonical(),
+            "digest": flagged.digest(),
+        }
+
+    problems = parent.state_problems(check)
+    if problems:
+        fail(problems[0])
+        return _finish(record, parent)
+    actions = parent.enabled_actions()
+    if not record["quiescent"] and not any(a[0] == "deliver" for a in actions):
+        fail("deadlock: non-quiescent state with no deliverable message")
+        return _finish(record, parent)
+    for action in actions:
+        child = replay_path(cell, path, channel_bound=channel_bound)
+        try:
+            child.apply(action)
+        except (ProtocolError, InvariantError, DeadlockError) as exc:
+            fail(f"{type(exc).__name__}: {exc}", extra_action=action)
+            break
+        problems = child.state_problems(check)
+        if problems:
+            fail(problems[0], extra_action=action, harness=child)
+            break
+        _harvest(record, child)
+        record["children"].append({
+            "action": list(action),
+            "digest": child.digest(),
+            "quiescent": child.is_quiescent(),
+        })
+    return _finish(record, parent)
+
+
+def _harvest(record, harness):
+    for ctype, pairs in harness.covered_pairs().items():
+        record["covered"].setdefault(ctype, set()).update(
+            tuple(pair) for pair in pairs)
+    record["projections"].update(harness.link_projection())
+
+
+def _finish(record, parent):
+    _harvest(record, parent)
+    for ctype, pairs in parent.transition_relation().items():
+        record["relation"].setdefault(ctype, set()).update(
+            tuple(pair) for pair in pairs)
+    # plain sorted lists: records cross process boundaries
+    record["covered"] = {
+        ctype: sorted(pairs) for ctype, pairs in record["covered"].items()
+    }
+    record["relation"] = {
+        ctype: sorted(pairs) for ctype, pairs in record["relation"].items()
+    }
+    record["projections"] = sorted(record["projections"])
+    return record
+
+
+# -- the BFS driver -----------------------------------------------------------
+
+
+def explore_cell(host="mesi", variant="full_state", addresses=1, n_cpus=2,
+                 workers=1, max_states=100_000, check=None,
+                 channel_bound=DEFAULT_CHANNEL_BOUND, progress=None):
+    """Breadth-first reachability exploration of one (host × variant) cell.
+
+    Returns a result dict: state/transition/quiescent counts, the
+    order-independent ``digest`` of the visited set, the
+    reachability-proven transition sets per controller type, the XG-link
+    projections, and — if any check failed — a replayable
+    ``counterexample`` (its ``path`` re-executes on the live simulator
+    via :func:`replay_path`).
+
+    ``workers > 1`` shards each BFS level over the campaign executor;
+    results merge in submission order, so the visited-set digest is
+    byte-identical to the serial run.
+    """
+    cell = {"host": host, "variant": variant,
+            "addresses": addresses, "n_cpus": n_cpus}
+    root = ExplorerHarness(cell, channel_bound=channel_bound)
+    root_digest = root.digest()
+    visited = {root_digest}
+    quiescent = {root_digest} if root.is_quiescent() else set()
+    frontier = [()]
+    reachable = {}
+    relation = {}
+    projections = set()
+    transitions = 0
+    counterexample = None
+    truncated = False
+    depth = 0
+    while frontier and counterexample is None:
+        records = _expand_frontier(cell, frontier, workers, check, channel_bound)
+        next_frontier = []
+        for record in records:
+            for ctype, pairs in record["covered"].items():
+                reachable.setdefault(ctype, set()).update(
+                    tuple(pair) for pair in pairs)
+            for ctype, pairs in record["relation"].items():
+                relation.setdefault(ctype, set()).update(
+                    tuple(pair) for pair in pairs)
+            projections.update(tuple(pair) for pair in record["projections"])
+            if record["violation"] is not None:
+                counterexample = record["violation"]
+                break
+            transitions += len(record["children"])
+            for child in record["children"]:
+                digest = child["digest"]
+                if digest in visited:
+                    continue
+                if len(visited) >= max_states:
+                    truncated = True
+                    continue
+                visited.add(digest)
+                if child["quiescent"]:
+                    quiescent.add(digest)
+                next_frontier.append(
+                    tuple(tuple(a) for a in record["path"])
+                    + (tuple(child["action"]),))
+        depth += 1
+        if progress is not None:
+            progress(depth, len(visited), len(next_frontier))
+        frontier = next_frontier
+    return {
+        "cell": cell,
+        "states": len(visited),
+        "transitions": transitions,
+        "quiescent_states": len(quiescent),
+        "depth": depth,
+        "digest": state_set_digest(visited),
+        "reachable": {ctype: sorted(pairs) for ctype, pairs in reachable.items()},
+        "relation": {ctype: sorted(pairs) for ctype, pairs in relation.items()},
+        "projections": sorted(projections),
+        "counterexample": counterexample,
+        "truncated": truncated,
+        "complete": counterexample is None and not truncated,
+        "ok": counterexample is None,
+    }
+
+
+def _expand_frontier(cell, frontier, workers, check, channel_bound):
+    paths = [[list(a) for a in path] for path in frontier]
+    if workers <= 1 or len(paths) <= 1:
+        return _expand_paths(cell, paths, check, channel_bound)
+    shards = shard_evenly(paths, workers * 4)
+    jobs = [
+        CampaignJob(
+            runner=_expand_paths,
+            args=(cell, shard, check, channel_bound),
+            label=f"explore[{cell['host']}/{cell['variant']}] shard {index}",
+        )
+        for index, shard in enumerate(shards)
+    ]
+    records = []
+    for outcome in run_campaign(jobs, workers=workers):
+        if not outcome.ok:
+            raise ExplorationError(
+                f"frontier shard failed: {outcome.error_type}: "
+                f"{outcome.error}\n{outcome.traceback}")
+        records.extend(outcome.value)
+    return records
+
+
+# -- coverage cross-check -----------------------------------------------------
+
+
+def run_cell_stress(cell, seed=0, ops=200):
+    """Seeded random run on the *exact* explorer cell configuration.
+
+    Drives the same addresses with at most one outstanding op per
+    sequencer (the explorer's own issue discipline), randomized network
+    latencies, and the explorer's huge probe timeout — so every
+    transition this run covers must be reachable by the explorer. The
+    cross-check below enforces exactly that.
+    """
+    import random
+
+    config = dc_replace(
+        cell_config(**cell),
+        randomize_latencies=True,
+        seed=seed,
+        deadlock_threshold=1_000_000,
+    )
+    system = build_system(config)
+    rng = random.Random(seed)
+    addresses = list(ADDRESS_POOL[: dict(cell).get("addresses", 1)])
+    budget = {"left": int(ops)}
+
+    def issue(seq):
+        if budget["left"] <= 0:
+            return
+        budget["left"] -= 1
+        addr = rng.choice(addresses)
+        done = lambda msg, data, _seq=seq: issue(_seq)
+        if rng.random() < 0.5:
+            seq.load(addr, done)
+        else:
+            seq.store(addr, STORE_VALUE, done)
+
+    for seq in system.sequencers:
+        issue(seq)
+    system.run_until_drained()
+    covered = {}
+    for comp in system.controllers():
+        pairs = covered.setdefault(comp.CONTROLLER_TYPE, set())
+        pairs.update(tuple(pair) for pair in comp.covered_transitions())
+    return {ctype: sorted(pairs) for ctype, pairs in covered.items()}
+
+
+def cross_check_coverage(result, covered):
+    """Transitions a stress run covered that exploration says are
+    unreachable — must be empty, or one of the two models is wrong."""
+    reachable = {
+        ctype: {tuple(pair) for pair in pairs}
+        for ctype, pairs in result["reachable"].items()
+    }
+    problems = []
+    for ctype, pairs in covered.items():
+        extra = {tuple(pair) for pair in pairs} - reachable.get(ctype, set())
+        if extra:
+            problems.append((ctype, sorted(extra)))
+    return problems
+
+
+def load_reachable_report(path, include_partial=False):
+    """Union the reachable-transition sets out of an ``explore_report.json``.
+
+    Returns ``{ctype: {(state, event), ...}}`` suitable for
+    :func:`repro.obs.matrix.render_matrix`'s ``reachable`` parameter —
+    the bridge that makes ``repro report``'s uncovered lists
+    reachability-authoritative.
+
+    Truncated (``max_states``-capped) cells are skipped unless
+    ``include_partial`` — an incomplete reachable set would silently
+    misclassify unexplored-but-reachable transitions as dead rows.
+    """
+    import json
+
+    with open(path) as fh:
+        payload = json.load(fh)
+    cells = payload.get("cells", payload if isinstance(payload, list) else [payload])
+    out = {}
+    for result in cells:
+        if result.get("truncated") and not include_partial:
+            continue
+        for ctype, pairs in result.get("reachable", {}).items():
+            out.setdefault(ctype, set()).update(tuple(pair) for pair in pairs)
+    return out
+
+
+def authoritative_uncovered(result, covered):
+    """The report's authoritative uncovered list: reachable minus covered.
+
+    Declared-but-unreachable transitions are excluded — they are dead
+    table rows for this cell, not coverage gaps.
+    """
+    covered_sets = {
+        ctype: {tuple(pair) for pair in pairs}
+        for ctype, pairs in covered.items()
+    }
+    out = {}
+    for ctype, pairs in result["reachable"].items():
+        missing = {tuple(pair) for pair in pairs} - covered_sets.get(ctype, set())
+        if missing:
+            out[ctype] = sorted(missing)
+    return out

@@ -287,9 +287,11 @@ def explore(allow_probe_when_absent=True, max_states=500_000):
     states = 0
     transitions = 0
     deadlocks = 0
+    projections = set()
     while frontier:
         state = frontier.popleft()
         states += 1
+        projections.add((state.accel, state.mirror))
         if states > max_states:
             raise VerificationError("state space exceeded max_states", state)
         model.check(state)
@@ -315,7 +317,22 @@ def explore(allow_probe_when_absent=True, max_states=500_000):
         "quiescent_states": sum(
             1 for key in seen if State(*_expand(key)).quiescent
         ),
+        # every reachable (accel state, mirror state) pair — the
+        # projection surface the concrete explorer is checked against
+        "projections": sorted(projections),
     }
+
+
+def reachable_projections(allow_probe_when_absent=True):
+    """Reachable (accel state, mirror state) pairs of the abstract model.
+
+    The differential contract with :mod:`repro.verify.explorer`: every
+    pair the concrete explorer observes on a Full State XG link must
+    appear here — the abstract model over-approximates the interface, it
+    must never under-approximate it.
+    """
+    stats = explore(allow_probe_when_absent=allow_probe_when_absent)
+    return {tuple(pair) for pair in stats["projections"]}
 
 
 def _expand(key):

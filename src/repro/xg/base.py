@@ -231,6 +231,25 @@ class CrossingGuardBase(CoherenceController):
         if self.mirror is not None:
             self.mirror.pop(self.align(addr), None)
 
+    def snapshot_extra(self):
+        """XG-specific logical state: the mirror and the quarantine rung."""
+        extra = {
+            "quarantine": self.error_log.quarantine_state,
+            "errors": len(self.error_log),
+        }
+        if self.mirror is not None:
+            extra["mirror"] = {
+                addr: (
+                    entry.accel_state,
+                    None if entry.retained_data is None
+                    else bytes(entry.retained_data.to_bytes()),
+                    bool(entry.retained_dirty),
+                    getattr(entry.permission, "name", entry.permission),
+                )
+                for addr, entry in self.mirror.items()
+            }
+        return extra
+
     # -- duplicate suppression (unreliable accel link) -----------------------------------
 
     #: how many consumed accel-message uids to remember for dedupe.

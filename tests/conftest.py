@@ -5,6 +5,23 @@ import pytest
 from tests.helpers import HammerHost, MesiHost, RawAgent  # noqa: F401
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--explore-full", action="store_true", default=False,
+        help="run full state-space enumerations (minutes per cell); "
+             "tier-1 runs only capped explorations without this flag",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--explore-full"):
+        return
+    skip = pytest.mark.skip(reason="full enumeration: needs --explore-full")
+    for item in items:
+        if "explore_full" in item.keywords:
+            item.add_marker(skip)
+
+
 @pytest.fixture
 def mesi_host():
     return MesiHost()

@@ -86,6 +86,65 @@ def test_quiescent_mirror_mismatch_detected():
         model.check(State(accel=E, mirror="S"))
 
 
+def test_channel_overflow_detected():
+    """check() must bound both directions of the link independently."""
+    model = InterfaceModel()
+    flood = (INVACK,) * 5  # _CHANNEL_BOUND is 4
+    with pytest.raises(VerificationError, match="channel bound"):
+        model.check(State(accel=I, a2x=flood))
+    with pytest.raises(VerificationError, match="channel bound"):
+        model.check(State(accel=I, x2a=flood))
+    # exactly at the bound is legal
+    model.check(State(accel=B, b_reason="get", a2x=(INVACK,) * 4))
+
+
+def test_probe_when_absent_mode_gates_successors():
+    """allow_probe_when_absent=False (Full State style) must not probe a
+    block the accelerator does not hold; True (Transactional) must."""
+    quiet = State()  # accel=I, mirror=I
+    held = State(accel=S, mirror="S")
+    free_probes = [label for label, _ in
+                   InterfaceModel(allow_probe_when_absent=True).successors(quiet)]
+    strict_probes = [label for label, _ in
+                     InterfaceModel(allow_probe_when_absent=False).successors(quiet)]
+    assert "host:probe" in free_probes
+    assert "host:probe" not in strict_probes
+    # a held block is probeable in both modes
+    for allow in (True, False):
+        labels = [label for label, _ in
+                  InterfaceModel(allow_probe_when_absent=allow).successors(held)]
+        assert "host:probe" in labels
+
+
+def test_verification_error_trace_tail_formatting():
+    """The message shows the state and only the last 12 trace steps."""
+    trace = [f"step-{index:02d}" for index in range(20)]
+    err = VerificationError("boom", State(accel=M, mirror="O"), trace)
+    text = str(err)
+    assert "boom" in text
+    assert "state:" in text and "accel=M" in text
+    assert "trace tail:" in text
+    for step in trace[-12:]:
+        assert step in text
+    for step in trace[:8]:
+        assert step not in text
+    assert err.trace == trace
+
+
+def test_verification_error_without_trace():
+    err = VerificationError("bare", State())
+    assert err.trace == []
+    assert "bare" in str(err)
+
+
+def test_explore_reports_projections():
+    stats = explore()
+    pairs = {tuple(pair) for pair in stats["projections"]}
+    assert ("I", "I") in pairs  # the initial state
+    assert all(accel in "ISEMB" and mirror in "ISO"
+               for accel, mirror in pairs)
+
+
 def test_broken_accelerator_model_caught_by_exploration():
     """Sanity: if the Table 1 automaton 'forgot' the B+Invalidate row,
     exploration must fail — the checker has teeth."""
